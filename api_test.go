@@ -1,0 +1,140 @@
+package topomap_test
+
+import (
+	"strings"
+	"testing"
+
+	"topomap"
+)
+
+func TestMapErrorPaths(t *testing.T) {
+	g := topomap.NewGraph(3, 2)
+	g.MustConnect(0, 1, 1, 1)
+	g.MustConnect(1, 1, 0, 1)
+	// Node 2 unwired: invalid network.
+	if _, err := topomap.Map(g, topomap.Options{}); err == nil {
+		t.Fatal("invalid network must be rejected")
+	}
+	valid := topomap.Ring(4)
+	if _, err := topomap.Map(valid, topomap.Options{Root: -1}); err == nil {
+		t.Fatal("negative root must be rejected")
+	}
+	if _, err := topomap.Map(valid, topomap.Options{Root: 4}); err == nil {
+		t.Fatal("root beyond N must be rejected")
+	}
+	if _, err := topomap.Map(valid, topomap.Options{MaxTicks: 3}); err == nil {
+		t.Fatal("a 3-tick budget cannot complete the protocol")
+	}
+}
+
+func TestMapAllFamilies(t *testing.T) {
+	for _, fam := range topomap.AllFamilies() {
+		g, err := topomap.Build(fam, 10, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		res, err := topomap.Map(g, topomap.Options{Validate: true})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if !topomap.Verify(g, 0, res.Topology) {
+			t.Errorf("%s: inexact map", fam)
+		}
+	}
+}
+
+func TestMapCustomSpeedsStillExact(t *testing.T) {
+	// Slowing UNMARK to speed-1 is a conservative change (more cleanup
+	// slack); the protocol must still map exactly.
+	g := topomap.Torus(3, 4)
+	res, err := topomap.Map(g, topomap.Options{
+		Speeds: &topomap.Speeds{Snake: 2, Loop: 2, Unmark: 2, Kill: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topomap.Verify(g, 0, res.Topology) {
+		t.Fatal("conservative speed change broke the map")
+	}
+}
+
+func TestSendBackwardErrorPaths(t *testing.T) {
+	g := topomap.Ring(5)
+	if _, err := topomap.SendBackward(g, 0, 2, topomap.PayloadPing, topomap.Options{}); err == nil {
+		t.Fatal("unwired in-port must be rejected")
+	}
+	if _, err := topomap.SendBackward(g, 7, 1, topomap.PayloadPing, topomap.Options{}); err == nil {
+		t.Fatal("node out of range must be rejected")
+	}
+}
+
+func TestSendBackwardEveryRingNode(t *testing.T) {
+	g := topomap.Ring(6)
+	for v := 0; v < g.N(); v++ {
+		res, err := topomap.SendBackward(g, v, 1, topomap.PayloadPong, topomap.Options{})
+		if err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+		want := (v + 5) % 6
+		if res.Target != want {
+			t.Fatalf("node %d: delivered to %d, want %d", v, res.Target, want)
+		}
+	}
+}
+
+func TestSignalRootErrorPaths(t *testing.T) {
+	g := topomap.Ring(5)
+	if _, err := topomap.SignalRoot(g, 0, true, 1, 1, topomap.Options{}); err == nil {
+		t.Fatal("the root cannot signal itself")
+	}
+	if _, err := topomap.SignalRoot(g, 9, true, 1, 1, topomap.Options{}); err == nil {
+		t.Fatal("node out of range must be rejected")
+	}
+}
+
+func TestSignalRootBackToken(t *testing.T) {
+	g := topomap.BiRing(7)
+	res, err := topomap.SignalRoot(g, 3, false, 0, 0, topomap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forward {
+		t.Fatal("expected a BACK token")
+	}
+	if len(res.PathToRoot) != g.Distance(3, 0) || len(res.PathFromRoot) != g.Distance(0, 3) {
+		t.Fatalf("path lengths %d/%d, want %d/%d", len(res.PathToRoot),
+			len(res.PathFromRoot), g.Distance(3, 0), g.Distance(0, 3))
+	}
+}
+
+func TestGraphSerializationThroughAPI(t *testing.T) {
+	g := topomap.Kautz(2, 2)
+	s := g.MarshalString()
+	h, err := topomap.UnmarshalGraphString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("serialisation round-trip failed")
+	}
+	if !strings.HasPrefix(s, "topomap-graph v1") {
+		t.Fatal("format header missing")
+	}
+}
+
+func TestResultStatsPlausible(t *testing.T) {
+	g := topomap.BiRing(9)
+	res, err := topomap.Map(g, topomap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every edge is reported by exactly one FORWARD transaction; BACKs
+	// add at most one transaction per edge.
+	if res.Transactions < g.NumEdges() || res.Transactions > 2*g.NumEdges() {
+		t.Fatalf("transactions %d outside [E, 2E] = [%d, %d]",
+			res.Transactions, g.NumEdges(), 2*g.NumEdges())
+	}
+	if res.Messages <= int64(res.Ticks) {
+		t.Fatalf("message count %d implausible for %d ticks", res.Messages, res.Ticks)
+	}
+}

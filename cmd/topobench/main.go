@@ -1,0 +1,71 @@
+// Command topobench regenerates the repository's experiment tables: every
+// quantitative claim of Goldstein's "Determination of the Topology of a
+// Directed Network" as a measurable table or series (see DESIGN.md §4 for
+// the claim → experiment mapping and EXPERIMENTS.md for recorded output).
+//
+// Usage:
+//
+//	topobench [-full] [experiment ids...]
+//	topobench -list
+//
+// With no ids, every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"topomap/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size experiment sweeps (slower)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: topobench [-full] [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	failed := false
+	for _, id := range ids {
+		run, ok := experiments.Get(strings.ToLower(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "topobench: unknown experiment %q (try -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		table, err := run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topobench: %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(table.String())
+		fmt.Printf("(%s in %v)\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+package topomap_test
+
+import (
+	"fmt"
+
+	"topomap"
+)
+
+// ExampleMap maps a two-processor network — the smallest legal instance of
+// the model — and prints the reconstruction.
+func ExampleMap() {
+	g := topomap.TwoCycle()
+	res, err := topomap.Map(g, topomap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("nodes=%d edges=%d exact=%t\n",
+		res.Topology.N(), res.Topology.NumEdges(), topomap.Verify(g, 0, res.Topology))
+	for _, e := range res.Topology.Edges() {
+		fmt.Printf("%d:%d -> %d:%d\n", e.From, e.OutPort, e.To, e.InPort)
+	}
+	// Output:
+	// nodes=2 edges=2 exact=true
+	// 0:1 -> 1:1
+	// 1:1 -> 0:1
+}
+
+// ExampleSendBackward acknowledges against the direction of a one-way link.
+func ExampleSendBackward() {
+	g := topomap.Ring(4)
+	// Node 2's in-port 1 is fed by node 1; send a ping backwards 2 → 1.
+	res, err := topomap.SendBackward(g, 2, 1, topomap.PayloadPing, topomap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered to node %d\n", res.Target)
+	// Output:
+	// delivered to node 1
+}
+
+// ExampleSignalRoot recovers the canonical shortest paths between a
+// processor and the root.
+func ExampleSignalRoot() {
+	g := topomap.Ring(5)
+	res, err := topomap.SignalRoot(g, 2, true, 1, 1, topomap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("to root: %d hops, from root: %d hops\n",
+		len(res.PathToRoot), len(res.PathFromRoot))
+	// Output:
+	// to root: 3 hops, from root: 2 hops
+}

@@ -1,0 +1,82 @@
+// Satellites: mapping a constellation with strictly one-way links.
+//
+// The paper's introduction motivates directed networks of unknown topology
+// with examples like GPS satellites and encrypted one-way radio networks.
+// This example builds a constellation: several orbital planes, each a
+// directed ring of satellites (each bird transmits forward to the next in
+// its plane), plus one-way cross-plane downlinks whose direction alternates
+// — no link is bidirectional, yet the constellation is strongly connected.
+// A single ground-contact satellite is nudged into the root role and maps
+// the entire constellation.
+//
+//	go run ./examples/satellites
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topomap"
+)
+
+const (
+	planes  = 4 // orbital planes
+	perRing = 6 // satellites per plane
+)
+
+func sat(plane, slot int) int { return plane*perRing + slot }
+
+func main() {
+	// δ = 2: out-port 1 is the intra-plane transmitter, out-port 2 the
+	// cross-plane transmitter (where fitted). Mirrored for in-ports.
+	g := topomap.NewGraph(planes*perRing, 2)
+
+	// Intra-plane rings: each satellite transmits to the next in-plane.
+	for p := 0; p < planes; p++ {
+		for s := 0; s < perRing; s++ {
+			g.MustConnect(sat(p, s), 1, sat(p, (s+1)%perRing), 1)
+		}
+	}
+	// Cross-plane links: every second slot carries a one-way link to the
+	// neighbouring plane; direction alternates per slot so that planes
+	// remain mutually reachable without any bidirectional pair.
+	for p := 0; p < planes; p++ {
+		for s := 0; s < perRing; s += 2 {
+			q := (p + 1) % planes
+			if s%4 == 0 {
+				g.MustConnect(sat(p, s), 2, sat(q, s), 2)
+			} else {
+				g.MustConnect(sat(q, s), 2, sat(p, s), 2)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		log.Fatalf("constellation invalid: %v", err)
+	}
+	fmt.Printf("constellation: %d satellites in %d planes, %d one-way links, diameter %d\n",
+		g.N(), planes, g.NumEdges(), g.Diameter())
+
+	// Satellite (0,0) has ground contact: it becomes the root.
+	root := sat(0, 0)
+	res, err := topomap.Map(g, topomap.Options{Root: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped %d satellites and %d links in %d ticks (%d messages)\n",
+		res.Topology.N(), res.Topology.NumEdges(), res.Ticks, res.Messages)
+	if !topomap.Verify(g, root, res.Topology) {
+		log.Fatal("constellation map differs from the truth")
+	}
+	fmt.Println("ground station holds an exact map of the constellation")
+
+	// Count cross-plane links in the reconstruction: every edge leaving
+	// through out-port 2 is a cross-plane transmitter.
+	cross := 0
+	for _, e := range res.Topology.Edges() {
+		if e.OutPort == 2 {
+			cross++
+		}
+	}
+	fmt.Printf("reconstruction shows %d cross-plane downlinks (truth: %d)\n",
+		cross, planes*(perRing/2))
+}

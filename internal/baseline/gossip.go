@@ -1,0 +1,160 @@
+// Package baseline implements the comparison point the paper's finite-state
+// constraint rules out: a synchronous gossip mapper whose processors have
+// unique identifiers and unbounded memory, and whose messages carry
+// arbitrarily many edge descriptions per tick.
+//
+// It answers the question "what does the Global Topology Determination
+// Problem cost if you drop the constant-size-message restriction?": the
+// gossip mapper finishes in Θ(D) rounds but its messages grow to Θ(E·log N)
+// bits, whereas the paper's protocol keeps every message at O(log δ) bits
+// and pays Θ(N·D) rounds. Experiment E8 tabulates the trade-off.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"topomap/internal/graph"
+)
+
+// GossipResult reports the cost of a gossip-mapping run.
+type GossipResult struct {
+	// Topology is the root's reconstructed graph (exact, including port
+	// labels).
+	Topology *graph.Graph
+	// Rounds is the number of synchronous rounds until the root's
+	// knowledge was provably complete and stable.
+	Rounds int
+	// MaxMessageBits is the largest single message, in bits, under the
+	// encoding EdgeBits.
+	MaxMessageBits int64
+	// TotalBits is the total traffic, in bits.
+	TotalBits int64
+}
+
+// EdgeBits is the size of one edge description (two node identifiers of
+// ⌈log₂ N⌉ bits and two port numbers of ⌈log₂ δ⌉ bits).
+func EdgeBits(n, delta int) int64 {
+	return int64(2*bitsFor(n) + 2*bitsFor(delta))
+}
+
+func bitsFor(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// edge is a full port-labelled edge description.
+type edge struct {
+	from, outPort, to, inPort int
+}
+
+// Gossip runs the unbounded-memory mapper on g and returns the root's
+// reconstruction and traffic statistics. Processors know their unique index
+// and their local port wiring only through the same interface as the
+// paper's model (plus identity): in round 0 each node announces its
+// identity and sending out-port on every out-port, so the receiver learns
+// each in-edge exactly; afterwards every node forwards its entire known
+// edge set each round until no node learns anything new, at which point the
+// root (like every node) holds the complete topology.
+func Gossip(g *graph.Graph, root int) (*GossipResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n, delta := g.N(), g.Delta()
+	ebits := EdgeBits(n, delta)
+
+	known := make([]map[edge]bool, n)
+	for v := range known {
+		known[v] = map[edge]bool{}
+	}
+	// Round 0: identity announcements. Each node learns its in-edges.
+	res := &GossipResult{}
+	idBits := int64(bitsFor(n) + bitsFor(delta))
+	for v := 0; v < n; v++ {
+		for p := 1; p <= delta; p++ {
+			if ep, ok := g.OutEndpoint(v, p); ok {
+				known[ep.Node][edge{v, p, ep.Node, ep.Port}] = true
+				res.TotalBits += idBits
+				if idBits > res.MaxMessageBits {
+					res.MaxMessageBits = idBits
+				}
+			}
+		}
+	}
+	res.Rounds = 1
+
+	// Gossip rounds: forward everything known on every out-port until a
+	// global fixed point. The fixed point detection here is the
+	// omniscient harness's; a distributed termination detection would
+	// add O(D) rounds, which does not change the asymptotics reported.
+	for {
+		changed := false
+		next := make([]map[edge]bool, n)
+		for v := range next {
+			next[v] = make(map[edge]bool, len(known[v]))
+			for e := range known[v] {
+				next[v][e] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			msg := int64(len(known[v])) * ebits
+			for p := 1; p <= delta; p++ {
+				if ep, ok := g.OutEndpoint(v, p); ok {
+					res.TotalBits += msg
+					if msg > res.MaxMessageBits {
+						res.MaxMessageBits = msg
+					}
+					for e := range known[v] {
+						if !next[ep.Node][e] {
+							next[ep.Node][e] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		known = next
+		res.Rounds++
+		if !changed {
+			break
+		}
+		if res.Rounds > 4*n+16 {
+			return nil, fmt.Errorf("baseline: gossip did not converge")
+		}
+	}
+
+	// Build the root's reconstruction.
+	out := graph.New(n, delta)
+	for e := range known[root] {
+		if err := out.Connect(e.from, e.outPort, e.to, e.inPort); err != nil {
+			return nil, fmt.Errorf("baseline: inconsistent knowledge: %v", err)
+		}
+	}
+	res.Topology = out
+	return res, nil
+}
+
+// TheoreticalRounds returns the number of rounds gossip needs for the
+// root's knowledge to be complete: 1 + the maximum over edges (u→v) of the
+// shortest-path distance d(v, root).
+func TheoreticalRounds(g *graph.Graph, root int) int {
+	worst := 0
+	// Distance of every node TO the root: BFS on the reverse graph,
+	// computed here via per-node forward BFS for simplicity.
+	for v := 0; v < g.N(); v++ {
+		d := g.BFSDistances(v)[root]
+		if d > worst {
+			worst = d
+		}
+	}
+	return 1 + worst
+}
+
+// FiniteStateMessageBits returns the constant per-message bit budget of the
+// paper's protocol: ⌈log₂|I|⌉ for the wire alphabet of a degree-δ network.
+func FiniteStateMessageBits(alphabetSize float64) int64 {
+	return int64(math.Ceil(math.Log2(alphabetSize)))
+}

@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"testing"
+
+	"topomap/internal/graph"
+)
+
+func TestGossipExactReconstruction(t *testing.T) {
+	for _, f := range graph.AllFamilies() {
+		g, err := graph.Build(f, 16, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		res, err := Gossip(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !res.Topology.Equal(g) {
+			t.Errorf("%s: gossip reconstruction differs", f)
+		}
+	}
+}
+
+func TestGossipRoundsTrackDiameter(t *testing.T) {
+	// Rounds to completion = 1 (announce) + max distance of any edge
+	// target to the root, plus the fixed-point confirmation round.
+	g := graph.Ring(12)
+	res, err := Gossip(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TheoreticalRounds(g, 0)
+	if res.Rounds < want || res.Rounds > want+2 {
+		t.Fatalf("rounds %d, theoretical %d", res.Rounds, want)
+	}
+}
+
+func TestGossipMessageGrowth(t *testing.T) {
+	// Peak message size must be ≥ E·EdgeBits/const — the bandwidth cost
+	// the finite-state protocol avoids.
+	g := graph.Torus(5, 5)
+	res, err := Gossip(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMessageBits < int64(g.NumEdges())*EdgeBits(g.N(), g.Delta())/2 {
+		t.Fatalf("peak message implausibly small: %d bits", res.MaxMessageBits)
+	}
+}
+
+func TestGossipRejectsInvalid(t *testing.T) {
+	g := graph.New(2, 2)
+	g.MustConnect(0, 1, 1, 1)
+	if _, err := Gossip(g, 0); err == nil {
+		t.Fatal("invalid network must be rejected")
+	}
+}
+
+func TestEdgeBits(t *testing.T) {
+	// 16 nodes → 4 bits per id; δ=2 → 1 bit per port: 2·4+2·1 = 10.
+	if got := EdgeBits(16, 2); got != 10 {
+		t.Fatalf("EdgeBits(16,2) = %d, want 10", got)
+	}
+	if got := EdgeBits(2, 2); got != 4 {
+		t.Fatalf("EdgeBits(2,2) = %d, want 4", got)
+	}
+}
+
+func TestFiniteStateMessageBits(t *testing.T) {
+	if got := FiniteStateMessageBits(256); got != 8 {
+		t.Fatalf("log2(256) = %d, want 8", got)
+	}
+	if got := FiniteStateMessageBits(257); got != 9 {
+		t.Fatalf("ceil(log2(257)) = %d, want 9", got)
+	}
+}

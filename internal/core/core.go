@@ -1,0 +1,88 @@
+// Package core orchestrates the paper's primary contribution: it wires the
+// protocol automaton (internal/gtd) into the synchronous engine
+// (internal/sim), attaches the master computer (internal/mapper) to the
+// root's transcript, and runs the Global Topology Determination protocol to
+// completion. The public topomap package delegates here.
+package core
+
+import (
+	"fmt"
+
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/mapper"
+	"topomap/internal/sim"
+)
+
+// Run executes the Global Topology Determination protocol.
+type RunResult struct {
+	// Topology is the reconstruction (node 0 = root), exact per
+	// Theorem 4.1.
+	Topology *graph.Graph
+	// Stats are the engine's counters; Stats.Ticks is the paper's
+	// time-complexity measure.
+	Stats sim.Stats
+	// Transactions counts completed RCAs plus root-local equivalents.
+	Transactions int
+}
+
+// Options configures a run.
+type Options struct {
+	Root     int
+	MaxTicks int
+	Validate bool
+	// Config overrides the paper's speed assignment; nil uses defaults.
+	Config *gtd.Config
+	// Observers are attached to the engine (instrumentation).
+	Observers []sim.Observer
+	// Hooks receive protocol events (instrumentation).
+	Hooks gtd.Hooks
+}
+
+// Run maps g from the given root and returns the reconstruction with run
+// statistics. The input must be a valid network of the model.
+func Run(g *graph.Graph, opts Options) (*RunResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Root < 0 || opts.Root >= g.N() {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", opts.Root, g.N())
+	}
+	cfg := gtd.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	if opts.Hooks != nil {
+		prev := cfg.Hooks
+		hooks := opts.Hooks
+		cfg.Hooks = func(node int, kind gtd.EventKind, payload int) {
+			if prev != nil {
+				prev(node, kind, payload)
+			}
+			hooks(node, kind, payload)
+		}
+	}
+	m := mapper.New(g.Delta())
+	eng := sim.New(g, sim.Options{
+		Root:       opts.Root,
+		MaxTicks:   opts.MaxTicks,
+		Validate:   opts.Validate,
+		Transcript: m.Process,
+		Observers:  opts.Observers,
+	}, gtd.NewFactory(cfg))
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: protocol run failed: %w", err)
+	}
+	topo, err := m.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("core: transcript decoding failed: %w", err)
+	}
+	return &RunResult{Topology: topo, Stats: stats, Transactions: m.Transactions}, nil
+}
+
+// Exact reports whether a reconstruction matches the truth anchored at the
+// root.
+func Exact(truth *graph.Graph, root int, mapped *graph.Graph) bool {
+	return truth.IsomorphicFrom(root, mapped, 0)
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment at Quick scale: the
+// regression suite for the full experiment harness. Invariant columns
+// (exactness, violations, collisions) are asserted, so a protocol
+// regression fails here even if the tables still render.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			table, err := run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if table.String() == "" {
+				t.Fatal("empty rendering")
+			}
+			checkInvariants(t, id, table)
+		})
+	}
+}
+
+func col(table *Table, name string) int {
+	for i, c := range table.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func checkInvariants(t *testing.T, id string, table *Table) {
+	t.Helper()
+	switch id {
+	case "e1":
+		c := col(table, "exact")
+		for _, row := range table.Rows {
+			parts := strings.Split(row[c], "/")
+			if len(parts) != 2 || parts[0] != parts[1] {
+				t.Errorf("E1 row not fully exact: %v", row)
+			}
+		}
+	case "e2":
+		// Per family, the ratio must not blow up between the smallest
+		// and largest size (O(N·D) claim): allow 2× drift.
+		c := col(table, "ticks/(N·D)")
+		first := map[string]float64{}
+		for _, row := range table.Rows {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				t.Fatalf("E2 ratio %q", row[c])
+			}
+			if f, ok := first[row[0]]; !ok {
+				first[row[0]] = v
+			} else if v > 2*f+10 {
+				t.Errorf("E2 %s ratio drifting: %g after %g", row[0], v, f)
+			}
+		}
+	case "e3", "e4":
+		c := col(table, "ticks/loop")
+		for _, row := range table.Rows {
+			v, _ := strconv.ParseFloat(row[c], 64)
+			if v < 5 || v > 20 {
+				t.Errorf("%s per-hop constant out of band: %v", strings.ToUpper(id), row)
+			}
+		}
+	case "e6":
+		c := col(table, "violations")
+		m := col(table, "max residue")
+		for _, row := range table.Rows {
+			if row[c] != "0" || row[m] != "0" {
+				t.Errorf("E6 residue at close: %v", row)
+			}
+		}
+	case "e7":
+		c := col(table, "violations")
+		s := col(table, "min slack")
+		for _, row := range table.Rows {
+			if row[c] != "0" {
+				t.Errorf("E7 deadline violation: %v", row)
+			}
+			if v, _ := strconv.Atoi(row[s]); v < 0 {
+				t.Errorf("E7 negative slack: %v", row)
+			}
+		}
+	case "e10":
+		// The paper-default variant must be fully exact with no
+		// failures.
+		for _, row := range table.Rows {
+			if strings.HasPrefix(row[0], "paper defaults") {
+				if row[1] != row[2] || row[3] != "0" {
+					t.Errorf("E10 default variant not clean: %v", row)
+				}
+			}
+		}
+	case "e12":
+		c := col(table, "collisions")
+		for _, row := range table.Rows {
+			if row[c] != "0" {
+				t.Errorf("E12 transcript collision: %v", row)
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("e99"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID: "X", Title: "demo", Claim: "c",
+		Columns: []string{"a", "bee"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	s := tb.String()
+	for _, want := range []string{"demo", "333", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}

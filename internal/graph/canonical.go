@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CanonicalFrom returns a canonical string form of g anchored at root. Two
+// graphs have equal canonical forms iff there is a port-preserving
+// isomorphism between them mapping one root to the other. Because ports are
+// numbered, such an isomorphism is unique if it exists: the image of every
+// node is forced by following identically-numbered ports from the root. The
+// canonical form is built by a deterministic traversal (out-ports in
+// ascending order) assigning discovery numbers, then listing all wires.
+//
+// The graph must be strongly connected for the form to cover every node; if
+// some node is unreachable from root the form includes an UNREACHED marker so
+// comparisons still behave sanely.
+func (g *Graph) CanonicalFrom(root int) string {
+	n := g.N()
+	name := make([]int, n)
+	for i := range name {
+		name[i] = -1
+	}
+	next := 0
+	assign := func(v int) {
+		if name[v] == -1 {
+			name[v] = next
+			next++
+		}
+	}
+	assign(root)
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort {
+				if name[e.Node] == -1 {
+					assign(e.Node)
+					queue = append(queue, e.Node)
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d;delta=%d", n, g.delta)
+	if next != n {
+		fmt.Fprintf(&b, ";UNREACHED=%d", n-next)
+	}
+	// List wires sorted by (canonical source, out-port). Iterating nodes
+	// in canonical-name order makes the output order deterministic.
+	order := make([]int, n)
+	for v := 0; v < n; v++ {
+		if name[v] >= 0 {
+			order[name[v]] = v
+		}
+	}
+	for i := 0; i < next; i++ {
+		v := order[i]
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort {
+				fmt.Fprintf(&b, ";%d:%d>%d:%d", name[v], p, name[e.Node], e.Port)
+			}
+		}
+	}
+	return b.String()
+}
+
+// IsomorphicFrom reports whether g anchored at gRoot and h anchored at hRoot
+// are port-preserving isomorphic.
+func (g *Graph) IsomorphicFrom(gRoot int, h *Graph, hRoot int) bool {
+	if g.N() != h.N() || g.delta != h.delta {
+		return false
+	}
+	return g.CanonicalFrom(gRoot) == h.CanonicalFrom(hRoot)
+}
+
+// DOT renders the graph in Graphviz dot syntax with port-labelled edges.
+// highlight, if non-negative, marks the root node.
+func (g *Graph) DOT(name string, highlight int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for v := 0; v < g.N(); v++ {
+		if v == highlight {
+			fmt.Fprintf(&b, "  %d [style=filled, fillcolor=gold, label=\"root\\n%d\"];\n", v, v)
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -> %d [taillabel=\"%d\", headlabel=\"%d\", fontsize=9];\n",
+			e.From, e.To, e.OutPort, e.InPort)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

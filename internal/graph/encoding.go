@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Marshal writes g in the repository's plain-text graph format:
+//
+//	topomap-graph v1
+//	nodes <n> delta <δ>
+//	edge <from> <outPort> <to> <inPort>
+//	...
+//
+// Lines starting with '#' are comments. The format is stable and diff-able,
+// and is understood by cmd/topomap and cmd/topogen.
+func (g *Graph) Marshal(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "topomap-graph v1\nnodes %d delta %d\n", g.N(), g.delta); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "edge %d %d %d %d\n", e.From, e.OutPort, e.To, e.InPort); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MarshalString returns the Marshal output as a string.
+func (g *Graph) MarshalString() string {
+	var b strings.Builder
+	if err := g.Marshal(&b); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}
+
+// Unmarshal parses the plain-text graph format produced by Marshal.
+func Unmarshal(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			t := strings.TrimSpace(sc.Text())
+			if t == "" || strings.HasPrefix(t, "#") {
+				continue
+			}
+			return t, true
+		}
+		return "", false
+	}
+	header, ok := readLine()
+	if !ok {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if header != "topomap-graph v1" {
+		return nil, fmt.Errorf("graph: line %d: bad header %q", line, header)
+	}
+	sizes, ok := readLine()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing nodes line")
+	}
+	var n, delta int
+	if _, err := fmt.Sscanf(sizes, "nodes %d delta %d", &n, &delta); err != nil {
+		return nil, fmt.Errorf("graph: line %d: %v", line, err)
+	}
+	if n < 0 || delta < 1 || delta > 255 {
+		return nil, fmt.Errorf("graph: line %d: invalid sizes n=%d delta=%d", line, n, delta)
+	}
+	g := New(n, delta)
+	for {
+		t, ok := readLine()
+		if !ok {
+			break
+		}
+		var from, op, to, ip int
+		if _, err := fmt.Sscanf(t, "edge %d %d %d %d", &from, &op, &to, &ip); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if err := g.Connect(from, op, to, ip); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// UnmarshalString parses a graph from a string.
+func UnmarshalString(s string) (*Graph, error) {
+	return Unmarshal(strings.NewReader(s))
+}

@@ -1,0 +1,389 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns the directed cycle 0→1→…→n-1→0 with δ = 2 (one spare port per
+// side). Diameter n-1. n must be at least 2.
+func Ring(n int) *Graph {
+	if n < 2 {
+		panic("graph: ring needs n >= 2")
+	}
+	g := New(n, 2)
+	for v := 0; v < n; v++ {
+		g.MustConnect(v, 1, (v+1)%n, 1)
+	}
+	return g
+}
+
+// BiRing returns the bidirectional ring on n nodes: each undirected ring edge
+// realised as two directed wires. δ = 2, diameter ⌊n/2⌋. n must be ≥ 3 (n = 2
+// would need parallel port pairs; use TwoCycle for that).
+func BiRing(n int) *Graph {
+	if n < 3 {
+		panic("graph: biring needs n >= 3")
+	}
+	g := New(n, 2)
+	for v := 0; v < n; v++ {
+		w := (v + 1) % n
+		g.MustConnect(v, 1, w, 1) // clockwise
+		g.MustConnect(w, 2, v, 2) // counter-clockwise
+	}
+	return g
+}
+
+// TwoCycle returns the smallest legal network: two nodes with one wire in
+// each direction. δ = 2.
+func TwoCycle() *Graph {
+	g := New(2, 2)
+	g.MustConnect(0, 1, 1, 1)
+	g.MustConnect(1, 1, 0, 1)
+	return g
+}
+
+// ParallelPair returns two nodes joined by two parallel wires in each
+// direction — the multigraph fixture. δ = 2.
+func ParallelPair() *Graph {
+	g := New(2, 2)
+	g.MustConnect(0, 1, 1, 1)
+	g.MustConnect(0, 2, 1, 2)
+	g.MustConnect(1, 1, 0, 1)
+	g.MustConnect(1, 2, 0, 2)
+	return g
+}
+
+// Line returns the bidirectional path 0 ↔ 1 ↔ … ↔ n-1. δ = 2, diameter n-1.
+func Line(n int) *Graph {
+	if n < 2 {
+		panic("graph: line needs n >= 2")
+	}
+	g := New(n, 2)
+	for v := 0; v+1 < n; v++ {
+		g.MustConnect(v, 1, v+1, 1)
+		g.MustConnect(v+1, 2, v, 2)
+	}
+	return g
+}
+
+// Torus returns the directed rows×cols torus: each node has a wire to its
+// right neighbour and to the neighbour below (wrapping). δ = 2, strongly
+// connected, diameter rows+cols-2.
+func Torus(rows, cols int) *Graph {
+	if rows < 2 || cols < 2 {
+		panic("graph: torus needs rows, cols >= 2")
+	}
+	g := New(rows*cols, 2)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustConnect(id(r, c), 1, id(r, (c+1)%cols), 1)
+			g.MustConnect(id(r, c), 2, id((r+1)%rows, c), 2)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube with every undirected edge
+// realised as two directed wires. N = 2^d, δ = d, diameter d.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 16 {
+		panic("graph: hypercube dimension out of range")
+	}
+	n := 1 << d
+	g := New(n, d)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				g.MustConnect(v, b+1, w, b+1)
+				g.MustConnect(w, b+1, v, b+1)
+			}
+		}
+	}
+	return g
+}
+
+// Kautz returns the Kautz graph K(d, k): nodes are strings s0…sk over an
+// alphabet of d+1 symbols with si ≠ si+1; edges s0s1…sk → s1…sk·x for every
+// x ≠ sk. N = (d+1)·d^k, in-degree = out-degree = d, diameter k+1, and no
+// self-loops, which makes it the ideal logarithmic-diameter family for this
+// model. d ≥ 2 required so the graph is strongly connected with δ ≥ 2.
+func Kautz(d, k int) *Graph {
+	if d < 1 || k < 1 {
+		panic("graph: Kautz needs d >= 1 and k >= 1")
+	}
+	// Enumerate nodes: sequences of length k+1 over 0..d with no equal
+	// adjacent symbols.
+	var nodes [][]int
+	var build func(prefix []int)
+	build = func(prefix []int) {
+		if len(prefix) == k+1 {
+			cp := make([]int, len(prefix))
+			copy(cp, prefix)
+			nodes = append(nodes, cp)
+			return
+		}
+		for s := 0; s <= d; s++ {
+			if len(prefix) > 0 && prefix[len(prefix)-1] == s {
+				continue
+			}
+			build(append(prefix, s))
+		}
+	}
+	build(nil)
+	idx := map[string]int{}
+	key := func(s []int) string {
+		b := make([]byte, len(s))
+		for i, x := range s {
+			b[i] = byte('a' + x)
+		}
+		return string(b)
+	}
+	for i, s := range nodes {
+		idx[key(s)] = i
+	}
+	g := New(len(nodes), d)
+	for i, s := range nodes {
+		outPort := 1
+		for x := 0; x <= d; x++ {
+			if x == s[len(s)-1] {
+				continue
+			}
+			succ := append(append([]int{}, s[1:]...), x)
+			j := idx[key(succ)]
+			// In-port: position of s[0] among valid predecessors'
+			// leading symbols. Successor succ has predecessors
+			// y·s[1..k]·x with y ≠ s[1]; our y is s[0]. Assign
+			// in-ports by ascending y.
+			inPort := 1
+			for y := 0; y < s[0]; y++ {
+				if y != s[1] {
+					inPort++
+				}
+			}
+			g.MustConnect(i, outPort, j, inPort)
+			outPort++
+		}
+	}
+	return g
+}
+
+// DeBruijn returns a de Bruijn-like graph B(d, k) on d^k nodes where node v
+// has edges to (v·d + x) mod d^k. True de Bruijn graphs contain self-loops at
+// the d constant strings; since the model forbids self-loops, those edges are
+// rewired to the next node in numeric order (documented substitution). δ = d,
+// diameter ≤ k+1 after rewiring. d ≥ 2, k ≥ 2.
+func DeBruijn(d, k int) *Graph {
+	if d < 2 || k < 2 {
+		panic("graph: de Bruijn needs d >= 2 and k >= 2")
+	}
+	n := 1
+	for i := 0; i < k; i++ {
+		n *= d
+	}
+	g := New(n, d)
+	for v := 0; v < n; v++ {
+		for x := 0; x < d; x++ {
+			w := (v*d + x) % n
+			if w == v {
+				// Self-loop at a constant string: rewire to the
+				// cyclically next node, using a spare port pair.
+				w = (v + 1) % n
+			}
+			op := g.FreeOutPort(v)
+			ip := g.FreeInPort(w)
+			if op == 0 || ip == 0 {
+				// Port exhausted by a rewire collision; skip
+				// this edge (connectivity is preserved by the
+				// remaining shifts).
+				continue
+			}
+			g.MustConnect(v, op, w, ip)
+		}
+	}
+	return g
+}
+
+// TreeLoop builds the Lemma 5.1 counting family: a full binary tree of the
+// given height with bidirectional edges, plus a simple directed loop through
+// the permutation perm of the bottom-level nodes. perm must be a permutation
+// of 0..2^height-1 (the leaves in left-to-right order); pass nil for the
+// identity. N = 2^(height+1) - 1, δ = 4.
+func TreeLoop(height int, perm []int) *Graph {
+	if height < 1 {
+		panic("graph: tree-loop needs height >= 1")
+	}
+	leaves := 1 << height
+	n := 2*leaves - 1
+	if perm == nil {
+		perm = make([]int, leaves)
+		for i := range perm {
+			perm[i] = i
+		}
+	}
+	if len(perm) != leaves {
+		panic("graph: tree-loop permutation length mismatch")
+	}
+	seen := make([]bool, leaves)
+	for _, p := range perm {
+		if p < 0 || p >= leaves || seen[p] {
+			panic("graph: tree-loop perm is not a permutation")
+		}
+		seen[p] = true
+	}
+	// Heap-style numbering: node 0 is the root; children of i are 2i+1 and
+	// 2i+2; leaves are n-leaves .. n-1.
+	g := New(n, 4)
+	for i := 0; 2*i+2 < n; i++ {
+		for c := 1; c <= 2; c++ {
+			child := 2*i + c
+			// parent → child on port c, child → parent on port 3.
+			g.MustConnect(i, c, child, 1)
+			g.MustConnect(child, 3, i, c+1)
+		}
+	}
+	leaf := func(i int) int { return n - leaves + i }
+	for i := 0; i < leaves; i++ {
+		from := leaf(perm[i])
+		to := leaf(perm[(i+1)%leaves])
+		g.MustConnect(from, 4, to, 4)
+	}
+	return g
+}
+
+// Random returns a random strongly connected graph on n nodes with degree
+// bound delta: a random Hamiltonian backbone cycle guarantees strong
+// connectivity, then extra random chords are added while respecting port
+// capacities, aiming for the requested total edge count m (backbone
+// included). The construction is deterministic for a given seed.
+func Random(n, delta, m int, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: random graph needs n >= 2")
+	}
+	if delta < 2 {
+		panic("graph: random graph needs delta >= 2")
+	}
+	if m < n {
+		m = n
+	}
+	if max := n * delta; m > max {
+		m = max
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, delta)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		from := perm[i]
+		to := perm[(i+1)%n]
+		if _, _, err := g.ConnectNext(from, to); err != nil {
+			panic(err)
+		}
+	}
+	edges := n
+	attempts := 0
+	for edges < m && attempts < 50*m {
+		attempts++
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		if from == to {
+			continue
+		}
+		if g.FreeOutPort(from) == 0 || g.FreeInPort(to) == 0 {
+			continue
+		}
+		if _, _, err := g.ConnectNext(from, to); err != nil {
+			continue
+		}
+		edges++
+	}
+	return g
+}
+
+// RandomPermutation returns a uniformly random permutation of 0..n-1 drawn
+// from the given source, for TreeLoop instances.
+func RandomPermutation(n int, seed int64) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}
+
+// Family is a named graph family used by the experiment harness.
+type Family string
+
+// Families selectable in the harness and CLI.
+const (
+	FamilyRing      Family = "ring"
+	FamilyBiRing    Family = "biring"
+	FamilyLine      Family = "line"
+	FamilyTorus     Family = "torus"
+	FamilyKautz     Family = "kautz"
+	FamilyDeBruijn  Family = "debruijn"
+	FamilyHypercube Family = "hypercube"
+	FamilyRandom    Family = "random"
+	FamilyTreeLoop  Family = "treeloop"
+)
+
+// AllFamilies lists every named family in deterministic order.
+func AllFamilies() []Family {
+	return []Family{FamilyRing, FamilyBiRing, FamilyLine, FamilyTorus,
+		FamilyKautz, FamilyDeBruijn, FamilyHypercube, FamilyRandom, FamilyTreeLoop}
+}
+
+// Build constructs a member of the family with approximately n nodes (exact
+// where the family allows it). seed parameterises the random families.
+func Build(f Family, n int, seed int64) (*Graph, error) {
+	switch f {
+	case FamilyRing:
+		return Ring(maxInt(2, n)), nil
+	case FamilyBiRing:
+		return BiRing(maxInt(3, n)), nil
+	case FamilyLine:
+		return Line(maxInt(2, n)), nil
+	case FamilyTorus:
+		r := 2
+		for r*r < n {
+			r++
+		}
+		c := (n + r - 1) / r
+		if c < 2 {
+			c = 2
+		}
+		return Torus(r, c), nil
+	case FamilyKautz:
+		// Pick k so that 2·2^k ≥ n with d = 2.
+		k := 1
+		for 2*(1<<k) < n && k < 16 {
+			k++
+		}
+		return Kautz(2, k), nil
+	case FamilyDeBruijn:
+		k := 2
+		for p := 4; p < n && k < 16; k++ {
+			p *= 2
+		}
+		return DeBruijn(2, k), nil
+	case FamilyHypercube:
+		d := 1
+		for 1<<d < n && d < 14 {
+			d++
+		}
+		return Hypercube(d), nil
+	case FamilyRandom:
+		return Random(maxInt(2, n), 3, 2*n, seed), nil
+	case FamilyTreeLoop:
+		h := 1
+		for (1<<(h+1))-1 < n && h < 18 {
+			h++
+		}
+		leaves := 1 << h
+		return TreeLoop(h, RandomPermutation(leaves, seed)), nil
+	}
+	return nil, fmt.Errorf("graph: unknown family %q", f)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,310 @@
+// Package graph provides port-labelled directed multigraphs: the network
+// topologies of Goldstein's model. Every processor has numbered in-ports and
+// out-ports (1..δ); an edge is a wire from a specific out-port of its source
+// to a specific in-port of its target. Not every port need be wired, but a
+// valid network requires every node to have at least one wired in-port and
+// one wired out-port, no self-loops, and strong connectivity.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoPort marks an unwired port slot.
+const NoPort = -1
+
+// Endpoint identifies one side of a wire: a node and one of its ports.
+type Endpoint struct {
+	Node int
+	Port int // 1-based port number
+}
+
+// Edge is a directed wire from an out-port of From to an in-port of To.
+type Edge struct {
+	From    int
+	OutPort int // 1-based out-port of From
+	To      int
+	InPort  int // 1-based in-port of To
+}
+
+// Graph is a port-labelled directed multigraph with a bounded number of ports
+// per node. The zero value is an empty graph; use New to allocate one with a
+// given size and degree bound.
+type Graph struct {
+	delta int
+	// out[v][p-1] is the endpoint wired to out-port p of v, or {-1,-1}.
+	out [][]Endpoint
+	// in[v][p-1] is the endpoint wired to in-port p of v, or {-1,-1}.
+	in [][]Endpoint
+}
+
+// New returns an empty graph with n nodes, each with delta in-ports and
+// delta out-ports, all unwired.
+func New(n, delta int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	if delta < 1 {
+		panic("graph: degree bound must be at least 1")
+	}
+	g := &Graph{delta: delta}
+	g.out = make([][]Endpoint, n)
+	g.in = make([][]Endpoint, n)
+	for v := 0; v < n; v++ {
+		g.out[v] = unwired(delta)
+		g.in[v] = unwired(delta)
+	}
+	return g
+}
+
+func unwired(delta int) []Endpoint {
+	ps := make([]Endpoint, delta)
+	for i := range ps {
+		ps[i] = Endpoint{NoPort, NoPort}
+	}
+	return ps
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.out) }
+
+// Delta returns the degree bound δ (ports per side per node).
+func (g *Graph) Delta() int { return g.delta }
+
+// Connect wires out-port outPort of node from to in-port inPort of node to.
+// Ports are 1-based. It returns an error if either port is out of range or
+// already wired, or if the edge would be a self-loop.
+func (g *Graph) Connect(from, outPort, to, inPort int) error {
+	if from < 0 || from >= g.N() || to < 0 || to >= g.N() {
+		return fmt.Errorf("graph: node out of range in edge %d:%d -> %d:%d", from, outPort, to, inPort)
+	}
+	if from == to {
+		return fmt.Errorf("graph: self-loop at node %d not allowed by the model", from)
+	}
+	if outPort < 1 || outPort > g.delta {
+		return fmt.Errorf("graph: out-port %d of node %d out of range 1..%d", outPort, from, g.delta)
+	}
+	if inPort < 1 || inPort > g.delta {
+		return fmt.Errorf("graph: in-port %d of node %d out of range 1..%d", inPort, to, g.delta)
+	}
+	if g.out[from][outPort-1].Node != NoPort {
+		return fmt.Errorf("graph: out-port %d of node %d already wired", outPort, from)
+	}
+	if g.in[to][inPort-1].Node != NoPort {
+		return fmt.Errorf("graph: in-port %d of node %d already wired", inPort, to)
+	}
+	g.out[from][outPort-1] = Endpoint{to, inPort}
+	g.in[to][inPort-1] = Endpoint{from, outPort}
+	return nil
+}
+
+// MustConnect is Connect that panics on error; intended for generators and
+// tests building graphs that are correct by construction.
+func (g *Graph) MustConnect(from, outPort, to, inPort int) {
+	if err := g.Connect(from, outPort, to, inPort); err != nil {
+		panic(err)
+	}
+}
+
+// ConnectNext wires the lowest free out-port of from to the lowest free
+// in-port of to and returns the chosen ports.
+func (g *Graph) ConnectNext(from, to int) (outPort, inPort int, err error) {
+	outPort = g.FreeOutPort(from)
+	inPort = g.FreeInPort(to)
+	if outPort == 0 {
+		return 0, 0, fmt.Errorf("graph: node %d has no free out-port", from)
+	}
+	if inPort == 0 {
+		return 0, 0, fmt.Errorf("graph: node %d has no free in-port", to)
+	}
+	return outPort, inPort, g.Connect(from, outPort, to, inPort)
+}
+
+// FreeOutPort returns the lowest unwired out-port of v, or 0 if none.
+func (g *Graph) FreeOutPort(v int) int {
+	for p := 1; p <= g.delta; p++ {
+		if g.out[v][p-1].Node == NoPort {
+			return p
+		}
+	}
+	return 0
+}
+
+// FreeInPort returns the lowest unwired in-port of v, or 0 if none.
+func (g *Graph) FreeInPort(v int) int {
+	for p := 1; p <= g.delta; p++ {
+		if g.in[v][p-1].Node == NoPort {
+			return p
+		}
+	}
+	return 0
+}
+
+// OutEndpoint returns the endpoint wired to out-port p of v; ok is false if
+// the port is unwired.
+func (g *Graph) OutEndpoint(v, p int) (Endpoint, bool) {
+	e := g.out[v][p-1]
+	return e, e.Node != NoPort
+}
+
+// InEndpoint returns the endpoint wired to in-port p of v; ok is false if
+// the port is unwired.
+func (g *Graph) InEndpoint(v, p int) (Endpoint, bool) {
+	e := g.in[v][p-1]
+	return e, e.Node != NoPort
+}
+
+// OutDegree returns the number of wired out-ports of v.
+func (g *Graph) OutDegree(v int) int {
+	n := 0
+	for p := 1; p <= g.delta; p++ {
+		if g.out[v][p-1].Node != NoPort {
+			n++
+		}
+	}
+	return n
+}
+
+// InDegree returns the number of wired in-ports of v.
+func (g *Graph) InDegree(v int) int {
+	n := 0
+	for p := 1; p <= g.delta; p++ {
+		if g.in[v][p-1].Node != NoPort {
+			n++
+		}
+	}
+	return n
+}
+
+// Edges returns all wires in deterministic order (by source node, then
+// out-port).
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for v := 0; v < g.N(); v++ {
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort {
+				es = append(es, Edge{From: v, OutPort: p, To: e.Node, InPort: e.Port})
+			}
+		}
+	}
+	return es
+}
+
+// NumEdges returns the number of wires.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for v := 0; v < g.N(); v++ {
+		n += g.OutDegree(v)
+	}
+	return n
+}
+
+// Successors returns the distinct successor nodes of v in ascending order.
+func (g *Graph) Successors(v int) []int {
+	seen := map[int]bool{}
+	for p := 1; p <= g.delta; p++ {
+		if e := g.out[v][p-1]; e.Node != NoPort {
+			seen[e.Node] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Predecessors returns the distinct predecessor nodes of v in ascending
+// order.
+func (g *Graph) Predecessors(v int) []int {
+	seen := map[int]bool{}
+	for p := 1; p <= g.delta; p++ {
+		if e := g.in[v][p-1]; e.Node != NoPort {
+			seen[e.Node] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N(), g.delta)
+	for v := 0; v < g.N(); v++ {
+		copy(c.out[v], g.out[v])
+		copy(c.in[v], g.in[v])
+	}
+	return c
+}
+
+// Relabel returns a copy of g with node v renamed to perm[v]. perm must be a
+// permutation of 0..N-1. Port numbers are preserved. Useful for isomorphism
+// tests.
+func (g *Graph) Relabel(perm []int) *Graph {
+	if len(perm) != g.N() {
+		panic("graph: permutation length mismatch")
+	}
+	c := New(g.N(), g.delta)
+	for _, e := range g.Edges() {
+		c.MustConnect(perm[e.From], e.OutPort, perm[e.To], e.InPort)
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical node counts, degree bounds
+// and wiring (same nodes, same ports).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.delta != h.delta {
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.delta; p++ {
+			if g.out[v][p] != h.out[v][p] || g.in[v][p] != h.in[v][p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks that g is a legal network of the paper's model: every node
+// has at least one wired in-port and one wired out-port, wiring is mutually
+// consistent, there are no self-loops, and the graph is strongly connected.
+func (g *Graph) Validate() error {
+	if g.N() == 0 {
+		return fmt.Errorf("graph: empty graph")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(v) == 0 {
+			return fmt.Errorf("graph: node %d has no wired out-port", v)
+		}
+		if g.InDegree(v) == 0 {
+			return fmt.Errorf("graph: node %d has no wired in-port", v)
+		}
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort {
+				if e.Node == v {
+					return fmt.Errorf("graph: self-loop at node %d", v)
+				}
+				back := g.in[e.Node][e.Port-1]
+				if back.Node != v || back.Port != p {
+					return fmt.Errorf("graph: inconsistent wiring at %d:%d", v, p)
+				}
+			}
+		}
+	}
+	if !g.StronglyConnected() {
+		return fmt.Errorf("graph: not strongly connected")
+	}
+	return nil
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d δ=%d m=%d}", g.N(), g.delta, g.NumEdges())
+}

@@ -1,0 +1,137 @@
+package gtd
+
+import (
+	"fmt"
+
+	"topomap/internal/wire"
+)
+
+// startRCA begins the Root Communication Algorithm at this processor
+// (step 1: flood IG snakes). tok is the FORWARD(i, j) or BACK token that
+// will be sent around the marked loop in step 4.
+func (p *Processor) startRCA(tok wire.LoopToken) {
+	if p.rca.phase != rcaIdle {
+		panic("gtd: RCA started while one is running")
+	}
+	p.rca.phase = rcaWaitOG
+	p.rca.tok = tok
+	p.rca.ini.Start()
+	p.cfg.hook(p.info.Index, EvRCAStart, int(tok.Type))
+}
+
+// rcaRelease is RCA step 4: on receipt of the OD tail, processor A
+// simultaneously releases the breadth-first KILL token and the speed-1
+// FORWARD/BACK loop token.
+func (p *Processor) rcaRelease() {
+	p.rca.phase = rcaWaitLoopReturn
+	p.scratch.killNow = true
+	p.createLoopToken(p.rca.tok, p.marks.succ1)
+}
+
+// rcaComplete runs after RCA step 5 (UNMARK returned): the DFS token is
+// passed on according to the depth-first-search rules.
+func (p *Processor) rcaComplete() {
+	p.rcaCount++
+	action := p.dfs.afterRCA
+	p.dfs.afterRCA = afterNone
+	switch action {
+	case afterAdvance:
+		p.dfsAdvance()
+	case afterBCABack:
+		p.startBCA(p.dfs.backIn, wire.PayloadDFSReturn)
+	case afterIdle:
+		// Standalone RCA: nothing follows.
+	default:
+		panic("gtd: RCA completed with no continuation")
+	}
+}
+
+// startBCA begins the Backwards Communication Algorithm: this processor (B)
+// sends payload backwards through the edge arriving at its in-port
+// targetPort.
+func (p *Processor) startBCA(targetPort uint8, payload wire.Payload) {
+	if p.bcaI.phase != biIdle {
+		panic("gtd: BCA started while one is running")
+	}
+	p.bcaI.phase = biWaitReturn
+	p.bcaI.targetPort = targetPort
+	p.bcaI.payload = payload
+	p.bcaI.ini.Start()
+	p.cfg.hook(p.info.Index, EvBCAStart, int(payload))
+}
+
+// bcaTargetRelease mirrors RCA step 4 at the BCA target: as the BD tail is
+// forwarded, release the KILL token and the ACK loop token.
+func (p *Processor) bcaTargetRelease() {
+	p.bcaT.armed = false
+	p.bcaT.phase = btWaitAck
+	p.scratch.killNow = true
+	p.createLoopToken(wire.LoopToken{Type: wire.LoopAck}, p.marks.succ1)
+}
+
+// bcaTargetComplete runs when the BCA transaction has fully closed at the
+// target and the payload can be acted upon.
+func (p *Processor) bcaTargetComplete(payload wire.Payload) {
+	switch payload {
+	case wire.PayloadDFSReturn:
+		if p.dfs.pendingOut == 0 {
+			panic("gtd: DFS token returned with no send outstanding")
+		}
+		p.dfs.finished |= 1 << (p.dfs.pendingOut - 1)
+		p.dfs.pendingOut = 0
+		if p.info.Root {
+			// The root's master computer observes the return in
+			// the transcript; no RCA is run (design choice 2).
+			p.dfsAdvance()
+			return
+		}
+		// "If the DFS token was received via a backwards edge, the
+		// processor performs the RCA using the BACK token."
+		p.dfs.afterRCA = afterAdvance
+		p.startRCA(wire.LoopToken{Type: wire.LoopBack})
+	default:
+		// Application payload (standalone BCA): record the delivery.
+		p.lastDelivered = payload
+		p.deliveredCount++
+	}
+}
+
+// dfsAdvance continues the depth-first search at this processor: send the
+// DFS token through the lowest-numbered unfinished connected out-port, or
+// hand it back to the parent; the root terminates instead.
+func (p *Processor) dfsAdvance() {
+	for port := 1; port <= p.info.Delta; port++ {
+		if !p.info.OutWired[port-1] {
+			continue
+		}
+		if p.dfs.finished&(1<<(port-1)) != 0 {
+			continue
+		}
+		p.dfs.pendingOut = uint8(port)
+		p.scratch.dfsSet = true
+		p.scratch.dfsPort = uint8(port)
+		p.cfg.hook(p.info.Index, EvDFSSent, port)
+		return
+	}
+	// All out-ports finished.
+	if p.info.Root {
+		p.terminated = true
+		p.cfg.hook(p.info.Index, EvTerminated, 0)
+		return
+	}
+	p.startBCA(p.dfs.parentIn, wire.PayloadDFSReturn)
+}
+
+// createLoopToken schedules the emission, this tick, of a freshly created
+// loop token through the given out-port.
+func (p *Processor) createLoopToken(t wire.LoopToken, outPort uint8) {
+	if p.scratch.loopSet {
+		panic(fmt.Sprintf("gtd: two loop tokens created in one tick (%v)", t))
+	}
+	if outPort == 0 {
+		panic("gtd: loop token created with no successor out-port")
+	}
+	p.scratch.loopSet = true
+	p.scratch.loopTok = t
+	p.scratch.loopPort = outPort
+}

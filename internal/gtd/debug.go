@@ -1,0 +1,24 @@
+package gtd
+
+import "fmt"
+
+// DebugState renders the processor's phase machine for diagnostics.
+func (p *Processor) DebugState() string {
+	s := fmt.Sprintf("dfs{v=%t parent=%d fin=%b pend=%d after=%d} rca=%d bcaI=%d bcaT=%d/%t",
+		p.dfs.visited, p.dfs.parentIn, p.dfs.finished, p.dfs.pendingOut, p.dfs.afterRCA,
+		p.rca.phase, p.bcaI.phase, p.bcaT.phase, p.bcaT.armed)
+	if p.marks.marked() {
+		s += fmt.Sprintf(" marks{1:%t(%d>%d) 2:%t(%d>%d) rj:%t}",
+			p.marks.set1, p.marks.pred1, p.marks.succ1,
+			p.marks.set2, p.marks.pred2, p.marks.succ2, p.marks.rootJoin)
+	}
+	for i := range p.grow {
+		if p.grow[i].HasResidue() {
+			s += fmt.Sprintf(" grow%d{v=%t p=%d n=%d}", i, p.grow[i].Visited, p.grow[i].ParentIn, p.grow[i].PipeLen())
+		}
+	}
+	if p.info.Root {
+		s += fmt.Sprintf(" root{closed=%t idActive=%t}", p.root.conv.Visited, p.root.idActive)
+	}
+	return s
+}

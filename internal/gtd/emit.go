@@ -1,0 +1,98 @@
+package gtd
+
+import (
+	"topomap/internal/snake"
+	"topomap/internal/wire"
+)
+
+// emit composes this tick's out-port messages from every component.
+func (p *Processor) emit(out []wire.Message) {
+	// Growing snake relays (and the root's IG→OG converting relay, which
+	// emits in the OG alphabet).
+	for i := 0; i < wire.NumGrowKinds; i++ {
+		p.emitGrow(out, p.grow[i].Emit(), wire.GrowKindAt(i))
+	}
+	if p.info.Root {
+		p.emitGrow(out, p.root.conv.Emit(), wire.KindOG)
+	}
+
+	// Baby snakes of the RCA and BCA initiators.
+	p.emitGrow(out, p.rca.ini.Emit(), wire.KindIG)
+	p.emitGrow(out, p.bcaI.ini.Emit(), wire.KindBG)
+
+	// Dying snake relays.
+	for i := 0; i < wire.NumDieKinds; i++ {
+		kind := wire.DieKindAt(i)
+		if c, port, ok := p.die[i].Emit(); ok {
+			out[port-1].SetDie(c.Die(kind))
+			if kind == wire.KindBD && c.Part == wire.Tail && p.bcaT.armed {
+				// The target has forwarded the BD tail: release
+				// KILL and ACK (mirroring RCA step 4).
+				p.bcaTargetRelease()
+			}
+		}
+	}
+
+	// Dying snake converters.
+	if p.rca.conv != nil {
+		if c, port, ok := p.rca.conv.Emit(); ok {
+			out[port-1].SetDie(c.Die(wire.KindID))
+		}
+	}
+	if p.root.odConv != nil {
+		if c, port, ok := p.root.odConv.Emit(); ok {
+			out[port-1].SetDie(c.Die(wire.KindOD))
+		}
+	}
+	if p.bcaI.conv != nil {
+		if c, port, ok := p.bcaI.conv.Emit(); ok {
+			out[port-1].SetDie(c.Die(wire.KindBD))
+		}
+	}
+
+	// Loop token in transit through this processor.
+	if t, port, ok := p.marks.emit(); ok {
+		out[port-1].SetLoop(t)
+	}
+
+	// Freshly created constructs.
+	if p.scratch.loopSet {
+		out[p.scratch.loopPort-1].SetLoop(p.scratch.loopTok)
+	}
+	if p.scratch.killNow {
+		p.broadcastKill(out)
+	}
+	if p.killPending == 0 {
+		p.killPending = -1
+		p.broadcastKill(out)
+	}
+	if p.scratch.dfsSet {
+		out[p.scratch.dfsPort-1].SetDFS(wire.DFSToken{Out: p.scratch.dfsPort})
+	}
+}
+
+// emitGrow broadcasts a growing-snake emission through every wired out-port.
+func (p *Processor) emitGrow(out []wire.Message, g snake.GrowOut, kind wire.SnakeKind) {
+	if !g.Has {
+		return
+	}
+	for port := 1; port <= p.info.Delta; port++ {
+		if !p.info.OutWired[port-1] {
+			continue
+		}
+		c := g.Char
+		if g.PerPort {
+			c = snake.Char{Part: g.Char.Part, Out: uint8(port), In: wire.Star}
+		}
+		out[port-1].SetGrow(c.Grow(kind))
+	}
+}
+
+// broadcastKill emits the KILL token through every wired out-port.
+func (p *Processor) broadcastKill(out []wire.Message) {
+	for port := 1; port <= p.info.Delta; port++ {
+		if p.info.OutWired[port-1] {
+			out[port-1].Kill = true
+		}
+	}
+}

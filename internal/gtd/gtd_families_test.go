@@ -1,0 +1,68 @@
+package gtd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topomap/internal/graph"
+)
+
+func TestGTDFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring2", graph.TwoCycle()},
+		{"ring8", graph.Ring(8)},
+		{"ring17", graph.Ring(17)},
+		{"biring3", graph.BiRing(3)},
+		{"biring10", graph.BiRing(10)},
+		{"line6", graph.Line(6)},
+		{"torus3x3", graph.Torus(3, 3)},
+		{"torus4x5", graph.Torus(4, 5)},
+		{"kautz2_2", graph.Kautz(2, 2)},
+		{"kautz2_3", graph.Kautz(2, 3)},
+		{"kautz3_2", graph.Kautz(3, 2)},
+		{"debruijn2_3", graph.DeBruijn(2, 3)},
+		{"debruijn2_4", graph.DeBruijn(2, 4)},
+		{"hypercube3", graph.Hypercube(3)},
+		{"hypercube4", graph.Hypercube(4)},
+		{"treeloop2", graph.TreeLoop(2, nil)},
+		{"treeloop3", graph.TreeLoop(3, graph.RandomPermutation(8, 7))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, stats := runGTD(t, tc.g, 0)
+			checkExact(t, tc.g, 0, got)
+			n, d := tc.g.N(), tc.g.Diameter()
+			t.Logf("N=%d D=%d E=%d: %d ticks (ticks/ND=%.2f)",
+				n, d, tc.g.NumEdges(), stats.Ticks, float64(stats.Ticks)/float64(n*d))
+		})
+	}
+}
+
+func TestGTDRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2 + rng.Intn(30)
+			delta := 2 + rng.Intn(3)
+			m := n + rng.Intn(n*delta-n+1)
+			g := graph.Random(n, delta, m, seed)
+			got, _ := runGTD(t, g, 0)
+			checkExact(t, g, 0, got)
+		})
+	}
+}
+
+// TestGTDAllRoots verifies the protocol is root-agnostic: every processor
+// can serve as the root and maps the same topology.
+func TestGTDAllRoots(t *testing.T) {
+	g := graph.Random(9, 3, 16, 42)
+	for root := 0; root < g.N(); root++ {
+		got, _ := runGTD(t, g, root)
+		checkExact(t, g, root, got)
+	}
+}

@@ -1,0 +1,70 @@
+package gtd_test
+
+import (
+	"testing"
+
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/mapper"
+	"topomap/internal/sim"
+)
+
+// runGTD executes the full protocol on g with the given root and returns the
+// reconstructed graph and run statistics.
+func runGTD(t *testing.T, g *graph.Graph, root int) (*graph.Graph, sim.Stats) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("input graph invalid: %v", err)
+	}
+	m := mapper.New(g.Delta())
+	eng := sim.New(g, sim.Options{
+		Root:       root,
+		Validate:   true,
+		MaxTicks:   2_000_000,
+		Transcript: m.Process,
+	}, gtd.NewFactory(gtd.DefaultConfig()))
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatalf("engine: %v (tick %d)", err, stats.Ticks)
+	}
+	got, err := m.Finish()
+	if err != nil {
+		t.Fatalf("mapper: %v", err)
+	}
+	return got, stats
+}
+
+// checkExact verifies the mapped graph is port-preserving isomorphic to the
+// truth, anchored at the root.
+func checkExact(t *testing.T, g *graph.Graph, root int, got *graph.Graph) {
+	t.Helper()
+	if got.N() != g.N() {
+		t.Fatalf("mapped %d nodes, want %d", got.N(), g.N())
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("mapped %d edges, want %d", got.NumEdges(), g.NumEdges())
+	}
+	if !g.IsomorphicFrom(root, got, 0) {
+		t.Fatalf("mapped topology differs:\n truth: %s\n mapped: %s",
+			g.CanonicalFrom(root), got.CanonicalFrom(0))
+	}
+}
+
+func TestGTDTwoCycle(t *testing.T) {
+	g := graph.TwoCycle()
+	got, _ := runGTD(t, g, 0)
+	checkExact(t, g, 0, got)
+}
+
+func TestGTDRing5(t *testing.T) {
+	g := graph.Ring(5)
+	got, stats := runGTD(t, g, 0)
+	checkExact(t, g, 0, got)
+	t.Logf("ring5: %d ticks, %d messages", stats.Ticks, stats.NonBlankMessages)
+}
+
+func TestGTDParallelPair(t *testing.T) {
+	g := graph.ParallelPair()
+	got, _ := runGTD(t, g, 0)
+	checkExact(t, g, 0, got)
+}

@@ -1,0 +1,99 @@
+package gtd
+
+import "topomap/internal/wire"
+
+// Residue describes every piece of protocol state a processor still holds;
+// it backs the Lemma 4.2 verification (experiments E6/E7): at the close of
+// each RCA/BCA transaction the network must be left completely undisturbed.
+type Residue struct {
+	// GrowMarks counts growing-snake visited markings.
+	GrowMarks int
+	// GrowChars counts buffered growing-snake characters (including the
+	// root's converting relay).
+	GrowChars int
+	// DieActive counts dying-snake relays mid-stream.
+	DieActive int
+	// ConvBusy counts converters with buffered characters.
+	ConvBusy int
+	// LoopMarked reports predecessor/successor designations present.
+	LoopMarked bool
+	// TokenInTransit reports a loop token held by this processor.
+	TokenInTransit bool
+	// KillPending reports a KILL token awaiting forwarding.
+	KillPending bool
+	// RootClosed reports the root's RCA closure ("the root will accept
+	// no further IG-snakes during this execution"). It is legitimate
+	// transaction state while an RCA runs and must be false between
+	// transactions.
+	RootClosed bool
+}
+
+// Clean reports whether no residue of any kind remains.
+func (r Residue) Clean() bool {
+	return r.GrowMarks == 0 && r.GrowChars == 0 && r.DieActive == 0 &&
+		r.ConvBusy == 0 && !r.LoopMarked && !r.TokenInTransit && !r.KillPending &&
+		!r.RootClosed
+}
+
+// GrowingClean reports whether no growing-snake residue remains — the
+// specific guarantee of Lemma 4.2's timing claim ("one time step later,
+// there will be no further growing snake characters or KILL tokens").
+func (r Residue) GrowingClean() bool {
+	return r.GrowMarks == 0 && r.GrowChars == 0 && !r.KillPending
+}
+
+// ResidueReport inspects the processor. It is instrumentation: the protocol
+// itself never reads it.
+func (p *Processor) ResidueReport() Residue {
+	var r Residue
+	for i := range p.grow {
+		if p.grow[i].Visited {
+			r.GrowMarks++
+		}
+		r.GrowChars += p.grow[i].PipeLen()
+	}
+	if p.info.Root {
+		// The root's closure is reported separately: during an RCA it
+		// is legitimate transaction state, not percolating residue.
+		r.RootClosed = p.root.conv.Visited
+		r.GrowChars += p.root.conv.PipeLen()
+		if p.root.odConv != nil && p.root.odConv.Busy() {
+			r.ConvBusy++
+		}
+	}
+	for i := range p.die {
+		if p.die[i].Active() {
+			r.DieActive++
+		}
+	}
+	if p.rca.conv != nil && p.rca.conv.Busy() {
+		r.ConvBusy++
+	}
+	if p.bcaI.conv != nil && p.bcaI.conv.Busy() {
+		r.ConvBusy++
+	}
+	r.LoopMarked = p.marks.marked()
+	r.TokenInTransit = p.marks.busy()
+	r.KillPending = p.killPending >= 0
+	return r
+}
+
+// DFSVisited reports whether the DFS token has visited this processor.
+func (p *Processor) DFSVisited() bool { return p.dfs.visited }
+
+// DFSParentIn returns the DFS parent in-port (0 at the root or unvisited).
+func (p *Processor) DFSParentIn() uint8 { return p.dfs.parentIn }
+
+// TransactionIdle reports whether the processor is between transactions:
+// no RCA/BCA role active in any direction.
+func (p *Processor) TransactionIdle() bool {
+	return p.rca.phase == rcaIdle && p.bcaI.phase == biIdle &&
+		p.bcaT.phase == btIdle && !p.bcaT.armed
+}
+
+// GrowVisited reports the visited flag of the given growing-snake kind, for
+// tests of BFS-tree carving.
+func (p *Processor) GrowVisited(kind wire.SnakeKind) (bool, uint8) {
+	r := &p.grow[wire.GrowIndex(kind)]
+	return r.Visited, r.ParentIn
+}

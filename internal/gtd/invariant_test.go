@@ -1,0 +1,105 @@
+package gtd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/sim"
+)
+
+// cleanlinessChecker asserts the Lemma 4.2 serialization premise: whenever a
+// processor begins an RCA or BCA (flooding fresh growing snakes), no growing
+// residue, in-flight growing character, or KILL token from an earlier
+// transaction may exist anywhere in the network.
+type cleanlinessChecker struct {
+	t          *testing.T
+	g          *graph.Graph
+	eng        *sim.Engine
+	startsThis int // transactions started in the current tick (set by hook)
+	violations []string
+}
+
+func (c *cleanlinessChecker) hook(node int, kind gtd.EventKind, payload int) {
+	if kind == gtd.EvRCAStart || kind == gtd.EvBCAStart {
+		c.startsThis++
+	}
+}
+
+func (c *cleanlinessChecker) AfterTick(tick int, e *sim.Engine) {
+	if c.startsThis == 0 {
+		return
+	}
+	c.startsThis = 0
+	// The freshly started transaction's own flood is already in flight;
+	// its initiator emitted heads this tick. Everything else must be
+	// clean: growing marks at other nodes, buffered growing characters,
+	// kills in flight. A fresh IG/BG head (Part==Head, In==Star rewritten
+	// at arrival...) cannot be distinguished from stale ones on the wire
+	// alone, so we check marks and kills, which a clean network may not
+	// have at all outside the transaction's first tick.
+	for v := 0; v < c.g.N(); v++ {
+		p := e.Automaton(v).(*gtd.Processor)
+		r := p.ResidueReport()
+		if r.GrowMarks > 0 || r.GrowChars > 0 || r.KillPending {
+			c.violations = append(c.violations,
+				fmt.Sprintf("tick %d: node %d has stale residue %+v at transaction start", tick, v, r))
+		}
+		for port := 1; port <= c.g.Delta(); port++ {
+			m := e.PendingIn(v, port)
+			if m.Kill {
+				c.violations = append(c.violations,
+					fmt.Sprintf("tick %d: stale KILL in flight into node %d", tick, v))
+			}
+		}
+	}
+	if len(c.violations) > 6 {
+		c.t.Fatalf("too many cleanliness violations:\n%v", c.violations)
+	}
+}
+
+// runChecked runs GTD with the cleanliness checker attached.
+func runChecked(t *testing.T, g *graph.Graph, root int) []string {
+	t.Helper()
+	chk := &cleanlinessChecker{t: t, g: g}
+	cfg := gtd.DefaultConfig()
+	cfg.Hooks = chk.hook
+	eng := sim.New(g, sim.Options{
+		Root:      root,
+		Validate:  true,
+		MaxTicks:  4_000_000,
+		Observers: []sim.Observer{chk},
+	}, gtd.NewFactory(cfg))
+	chk.eng = eng
+	_, err := eng.Run()
+	if err != nil {
+		chk.violations = append(chk.violations, fmt.Sprintf("run failed: %v", err))
+	}
+	return chk.violations
+}
+
+// TestCleanlinessInvariant checks transaction-start cleanliness across
+// representative graphs.
+func TestCleanlinessInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus4x5", graph.Torus(4, 5)},
+		{"random5", graph.Random(8, 3, 14, 5)},
+		{"kautz2_3", graph.Kautz(2, 3)},
+		{"ring8", graph.Ring(8)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := runChecked(t, tc.g, 0)
+			for i, v := range vs {
+				if i > 8 {
+					break
+				}
+				t.Error(v)
+			}
+		})
+	}
+}

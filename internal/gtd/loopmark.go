@@ -1,0 +1,202 @@
+package gtd
+
+import (
+	"fmt"
+
+	"topomap/internal/wire"
+)
+
+// loopMarks is a processor's marked-loop state (§2.4): up to two
+// predecessor-in-port / successor-out-port pairs, set by dying snakes, with
+// the alternation rule for processors that appear twice on the loop. The
+// root's junction (accept through predecessor #1, forward through successor
+// #2) is modelled by the rootJoin flag.
+//
+// The marks also hold the single in-transit loop token with its residual
+// hold, realising token speeds. At most one loop token exists per
+// transaction, so one slot suffices; overlap indicates a protocol bug.
+type loopMarks struct {
+	set1, set2             bool
+	pred1, succ1           uint8
+	pred2, succ2           uint8
+	rootJoin               bool
+	expect                 uint8 // 1 or 2: slot for the next token when both set
+	unmarkPending1         bool  // clear slot 1 after the in-transit token leaves
+	unmarkPending2         bool
+	tokActive              bool
+	tok                    wire.LoopToken
+	tokHold                int8
+	tokOut                 uint8
+	clearRootJoinAfterEmit bool
+}
+
+// setSlot1 installs the slot-1 marks (ID and BD snakes).
+func (l *loopMarks) setSlot1(pred, succ uint8) {
+	if l.set1 {
+		panic("gtd: loop slot 1 already marked")
+	}
+	l.set1 = true
+	l.pred1, l.succ1 = pred, succ
+	if l.expect == 0 {
+		l.expect = 1
+	}
+}
+
+// setSlot2 installs the slot-2 marks (OD snakes).
+func (l *loopMarks) setSlot2(pred, succ uint8) {
+	if l.set2 {
+		panic("gtd: loop slot 2 already marked")
+	}
+	l.set2 = true
+	l.pred2, l.succ2 = pred, succ
+	if l.expect == 0 {
+		l.expect = 1
+	}
+}
+
+// setRootJoin installs the root's junction marks: accept via pred (slot 1),
+// forward via succ (slot 2).
+func (l *loopMarks) setRootJoin(pred, succ uint8) {
+	if l.set1 || l.set2 || l.rootJoin {
+		panic("gtd: root loop junction already marked")
+	}
+	l.rootJoin = true
+	l.pred1, l.succ2 = pred, succ
+}
+
+// marked reports whether any designation is present.
+func (l *loopMarks) marked() bool { return l.set1 || l.set2 || l.rootJoin }
+
+// busy reports whether a token is in transit through this processor.
+func (l *loopMarks) busy() bool { return l.tokActive }
+
+// appropriatePred returns the predecessor in-port through which the next
+// loop token is awaited (§2.4), or 0 if unmarked.
+func (l *loopMarks) appropriatePred() uint8 {
+	switch {
+	case l.rootJoin:
+		return l.pred1
+	case l.set1 && l.set2:
+		if l.expect == 2 {
+			return l.pred2
+		}
+		return l.pred1
+	case l.set1:
+		return l.pred1
+	case l.set2:
+		return l.pred2
+	}
+	return 0
+}
+
+// relay accepts a loop token arriving through inPort and schedules its
+// forwarding through the appropriate successor out-port after the given
+// hold. It enforces the paper's acceptance rules; misrouted tokens panic.
+func (l *loopMarks) relay(t wire.LoopToken, inPort uint8, holdDelay int) {
+	if l.tokActive {
+		panic("gtd: second loop token while one is in transit")
+	}
+	var succ uint8
+	var slot uint8
+	switch {
+	case l.rootJoin:
+		if inPort != l.pred1 {
+			panic(fmt.Sprintf("gtd: loop token via in-port %d, root junction expects %d", inPort, l.pred1))
+		}
+		succ = l.succ2
+	case l.set1 && l.set2:
+		slot = l.expect
+		if slot == 2 {
+			if inPort != l.pred2 {
+				panic("gtd: loop token off the marked loop (slot 2)")
+			}
+			succ = l.succ2
+		} else {
+			if inPort != l.pred1 {
+				panic("gtd: loop token off the marked loop (slot 1)")
+			}
+			succ = l.succ1
+		}
+		// Alternate for the next token passage.
+		if l.expect == 1 {
+			l.expect = 2
+		} else {
+			l.expect = 1
+		}
+	case l.set1:
+		if inPort != l.pred1 {
+			panic("gtd: loop token off the marked loop")
+		}
+		succ = l.succ1
+		slot = 1
+	case l.set2:
+		if inPort != l.pred2 {
+			panic("gtd: loop token off the marked loop")
+		}
+		succ = l.succ2
+		slot = 2
+	default:
+		panic("gtd: loop token at unmarked processor")
+	}
+	l.tokActive = true
+	l.tok = t
+	l.tokHold = int8(holdDelay)
+	l.tokOut = succ
+	if t.Type == wire.LoopUnmark {
+		// Forget the traversed designations once the token has left.
+		switch {
+		case l.rootJoin:
+			l.clearRootJoinAfterEmit = true
+		case slot == 1:
+			l.unmarkPending1 = true
+		case slot == 2:
+			l.unmarkPending2 = true
+		}
+	}
+}
+
+// emit returns the in-transit token and its out-port once its hold elapses.
+// Call once per tick (before relay, so a zero-hold token forwarded the tick
+// it arrives is handled by the caller invoking emit after relay).
+func (l *loopMarks) emit() (wire.LoopToken, uint8, bool) {
+	if !l.tokActive || l.tokHold > 0 {
+		return wire.LoopToken{}, 0, false
+	}
+	l.tokActive = false
+	t, out := l.tok, l.tokOut
+	if l.clearRootJoinAfterEmit {
+		l.rootJoin = false
+		l.pred1, l.succ2 = 0, 0
+		l.clearRootJoinAfterEmit = false
+	}
+	if l.unmarkPending1 {
+		l.set1 = false
+		l.pred1, l.succ1 = 0, 0
+		l.unmarkPending1 = false
+		if !l.set2 {
+			l.expect = 0
+		}
+	}
+	if l.unmarkPending2 {
+		l.set2 = false
+		l.pred2, l.succ2 = 0, 0
+		l.unmarkPending2 = false
+		if !l.set1 {
+			l.expect = 0
+		}
+	}
+	return t, out, true
+}
+
+// age decrements the in-transit hold; call exactly once per tick.
+func (l *loopMarks) age() {
+	if l.tokActive && l.tokHold > 0 {
+		l.tokHold--
+	}
+}
+
+// clearAll erases every designation (used by the origin when it absorbs its
+// own UNMARK token).
+func (l *loopMarks) clearAll() {
+	*l = loopMarks{}
+}

@@ -1,0 +1,164 @@
+package gtd
+
+import (
+	"testing"
+
+	"topomap/internal/wire"
+)
+
+func tok(t wire.LoopType) wire.LoopToken { return wire.LoopToken{Type: t} }
+
+func TestLoopMarksSingleSlotRelay(t *testing.T) {
+	var l loopMarks
+	l.setSlot1(2, 3)
+	if l.appropriatePred() != 2 {
+		t.Fatal("await pred1")
+	}
+	l.age()
+	l.relay(tok(wire.LoopForward), 2, 2)
+	if _, _, ok := l.emit(); ok {
+		t.Fatal("speed-1 token must be held")
+	}
+	l.age()
+	if _, _, ok := l.emit(); ok {
+		t.Fatal("still held after one tick")
+	}
+	l.age()
+	got, out, ok := l.emit()
+	if !ok || out != 3 || got.Type != wire.LoopForward {
+		t.Fatalf("emit %v via %d ok=%t", got, out, ok)
+	}
+}
+
+func TestLoopMarksUnmarkClearsSlot(t *testing.T) {
+	var l loopMarks
+	l.setSlot1(1, 2)
+	l.age()
+	l.relay(tok(wire.LoopUnmark), 1, 0)
+	if _, _, ok := l.emit(); !ok {
+		t.Fatal("speed-3 token must forward the same tick")
+	}
+	if l.marked() {
+		t.Fatal("UNMARK must clear the traversed slot")
+	}
+}
+
+func TestLoopMarksAlternation(t *testing.T) {
+	// A processor on both loop segments: tokens alternate slot 1, slot
+	// 2, slot 1 ... (§2.4).
+	var l loopMarks
+	l.setSlot1(1, 2)
+	l.setSlot2(3, 4)
+	pass := func(in uint8, wantOut uint8) {
+		t.Helper()
+		l.age()
+		l.relay(tok(wire.LoopForward), in, 0)
+		_, out, ok := l.emit()
+		if !ok || out != wantOut {
+			t.Fatalf("token via %d left via %d (ok=%t), want %d", in, out, ok, wantOut)
+		}
+	}
+	pass(1, 2) // slot 1
+	pass(3, 4) // slot 2
+	pass(1, 2) // back to slot 1
+}
+
+func TestLoopMarksDoubleUnmark(t *testing.T) {
+	var l loopMarks
+	l.setSlot1(1, 2)
+	l.setSlot2(3, 4)
+	l.age()
+	l.relay(tok(wire.LoopUnmark), 1, 0)
+	l.emit()
+	if !l.set2 || l.set1 {
+		t.Fatal("first UNMARK clears slot 1 only")
+	}
+	l.age()
+	l.relay(tok(wire.LoopUnmark), 3, 0)
+	l.emit()
+	if l.marked() {
+		t.Fatal("second UNMARK clears everything")
+	}
+}
+
+func TestLoopMarksRootJoin(t *testing.T) {
+	// The root accepts through predecessor #1 and forwards through
+	// successor #2 (§2.4 footnote).
+	var l loopMarks
+	l.setRootJoin(2, 4)
+	if l.appropriatePred() != 2 {
+		t.Fatal("root junction awaits pred1")
+	}
+	l.age()
+	l.relay(tok(wire.LoopBack), 2, 0)
+	_, out, ok := l.emit()
+	if !ok || out != 4 {
+		t.Fatalf("root junction must forward via succ2: %d ok=%t", out, ok)
+	}
+	l.age()
+	l.relay(tok(wire.LoopUnmark), 2, 0)
+	l.emit()
+	if l.marked() {
+		t.Fatal("UNMARK clears the junction")
+	}
+}
+
+func TestLoopMarksMisroutePanics(t *testing.T) {
+	var l loopMarks
+	l.setSlot1(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("token off the marked loop must panic")
+		}
+	}()
+	l.relay(tok(wire.LoopForward), 3, 2)
+}
+
+func TestLoopMarksDoubleMarkPanics(t *testing.T) {
+	var l loopMarks
+	l.setSlot1(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-marking slot 1 must panic")
+		}
+	}()
+	l.setSlot1(2, 3)
+}
+
+func TestLoopMarksSecondTokenPanics(t *testing.T) {
+	var l loopMarks
+	l.setSlot1(1, 2)
+	l.age()
+	l.relay(tok(wire.LoopForward), 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("two tokens in transit must panic")
+		}
+	}()
+	l.relay(tok(wire.LoopForward), 1, 2)
+}
+
+func TestConfigLoopSpeeds(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.loopSpeedDelay(wire.LoopForward) != 2 || cfg.loopSpeedDelay(wire.LoopUnmark) != 0 {
+		t.Fatal("default speeds wrong")
+	}
+}
+
+func TestResidueCleanHelper(t *testing.T) {
+	var r Residue
+	if !r.Clean() || !r.GrowingClean() {
+		t.Fatal("zero residue must be clean")
+	}
+	r.RootClosed = true
+	if r.Clean() {
+		t.Fatal("closed root is not clean")
+	}
+	if !r.GrowingClean() {
+		t.Fatal("closure is not growing residue")
+	}
+	r = Residue{KillPending: true}
+	if r.GrowingClean() {
+		t.Fatal("pending KILL is growing residue")
+	}
+}

@@ -1,0 +1,347 @@
+package gtd
+
+import (
+	"topomap/internal/sim"
+	"topomap/internal/snake"
+	"topomap/internal/wire"
+)
+
+// Processor is the paper's communication processor: one identical
+// finite-state automaton per network node, running the Global Topology
+// Determination protocol. The root (flagged by the initiating "outside
+// source") additionally runs the root side of the RCA and drives the
+// depth-first search; every other behaviour is common.
+//
+// All fields are constant-bounded given the degree bound δ: port numbers,
+// phase enumerations, bit masks over ports, and bounded character pipelines.
+// The Index inside info is used exclusively for instrumentation hooks.
+type Processor struct {
+	cfg  *Config
+	info sim.NodeInfo
+
+	// Pass-through snake machinery (one per kind).
+	grow [wire.NumGrowKinds]snake.GrowRelay
+	die  [wire.NumDieKinds]snake.DieRelay
+
+	marks loopMarks
+
+	// killPending is the residual hold of a KILL token being forwarded;
+	// -1 means none.
+	killPending int8
+
+	dfs  dfsState
+	rca  rcaInitState
+	root rootState
+	bcaI bcaInitState
+	bcaT bcaTargetState
+
+	// rootKick makes the root take its first action (initial DFS send).
+	rootKick bool
+
+	// pendingKick arms a standalone RCA/BCA transaction (standalone.go).
+	pendingKick kick
+	kickTok     wire.LoopToken
+	kickPort    uint8
+	kickPayload wire.Payload
+
+	// Standalone-delivery and transaction counters (instrumentation).
+	lastDelivered  wire.Payload
+	deliveredCount int
+	rcaCount       int
+
+	terminated bool
+
+	// scratch holds the emissions created by this tick's transitions; it
+	// is reset at the start of every Step.
+	scratch scratch
+}
+
+type scratch struct {
+	killNow  bool
+	loopSet  bool
+	loopTok  wire.LoopToken
+	loopPort uint8
+	dfsSet   bool
+	dfsPort  uint8
+}
+
+// dfsState is the per-processor depth-first-search layer (§3).
+type dfsState struct {
+	visited  bool
+	parentIn uint8
+	finished uint32 // bitmask of finished out-ports (bit p-1)
+	// pendingOut is the out-port through which the DFS token was last
+	// sent and whose return (via BCA) is awaited; 0 = none.
+	pendingOut uint8
+	// afterRCA is the action to take when the running RCA completes.
+	afterRCA afterAction
+	// backIn is the in-port through which the DFS token most recently
+	// arrived forward while the processor was already visited; the BCA
+	// sending it back targets this port.
+	backIn uint8
+}
+
+type afterAction uint8
+
+const (
+	afterNone afterAction = iota
+	// afterAdvance continues the DFS at this processor: send the token
+	// through the next unfinished out-port, or hand it back to the
+	// parent (or terminate, at the root).
+	afterAdvance
+	// afterBCABack returns the DFS token backwards through backIn.
+	afterBCABack
+	// afterIdle takes no action (standalone RCA).
+	afterIdle
+)
+
+// kick identifies a pending standalone transaction start.
+type kick uint8
+
+const (
+	kickNone kick = iota
+	kickRCA
+	kickBCA
+)
+
+// rcaInitState is the state machine of an RCA's processor A (§4.2.1).
+type rcaInitState struct {
+	phase   rcaPhase
+	ini     snake.Initiator
+	tok     wire.LoopToken // FORWARD(i,j) or BACK, released in step 4
+	conv    *snake.DieConverter
+	srcPort uint8
+}
+
+type rcaPhase uint8
+
+const (
+	rcaIdle rcaPhase = iota
+	// rcaWaitOG: IG snakes flooding; awaiting the first OG head.
+	rcaWaitOG
+	// rcaConverting: OG→ID conversion running; awaiting the OD tail.
+	rcaConverting
+	// rcaWaitLoopReturn: KILL and FORWARD/BACK released; awaiting the
+	// loop token's return.
+	rcaWaitLoopReturn
+	// rcaWaitUnmark: UNMARK released; awaiting its return.
+	rcaWaitUnmark
+)
+
+// rootState is the root's side of the RCA (steps 2–3).
+type rootState struct {
+	// conv converts the accepted IG stream into the OG broadcast. Its
+	// Visited flag doubles as the paper's "root closes itself off to all
+	// other IG-snakes": it is reset only by the UNMARK token, never by
+	// KILL.
+	conv snake.GrowRelay
+	// sealed is set when a KILL token passes the closed root: the
+	// IG→OG conversion is complete by then (the KILL is released only
+	// after processor A has consumed the entire OG snake), so any IG
+	// character arriving later is a straggler of the dying flood. If the
+	// root kept converting stragglers it would emit fresh OG streams
+	// behind the KILL wave, re-contaminating the network — the one place
+	// where erase-on-KILL does not apply and the cleanup chase would
+	// otherwise break.
+	sealed   bool
+	idActive bool
+	idSrc    uint8
+	odConv   *snake.DieConverter
+}
+
+// bcaInitState is the state machine of a BCA's initiator B (§4.1; design
+// choice 1 of DESIGN.md).
+type bcaInitState struct {
+	phase      bcaIPhase
+	ini        snake.Initiator
+	targetPort uint8
+	payload    wire.Payload
+	conv       *snake.DieConverter
+}
+
+type bcaIPhase uint8
+
+const (
+	biIdle bcaIPhase = iota
+	// biWaitReturn: BG snakes flooding; awaiting the first BG head to
+	// re-enter through targetPort.
+	biWaitReturn
+	// biConverting: BG→BD conversion running.
+	biConverting
+	// biMarked: the BD tail returned; the loop is fully marked and B is a
+	// passive loop member until UNMARK passes.
+	biMarked
+)
+
+// bcaTargetState is the state machine of a BCA's target processor.
+type bcaTargetState struct {
+	phase   btPhase
+	payload wire.Payload
+	// armed is set between consuming the flagged head and forwarding the
+	// BD tail.
+	armed bool
+}
+
+type btPhase uint8
+
+const (
+	btIdle btPhase = iota
+	// btWaitAck: KILL and ACK released; awaiting the ACK's return.
+	btWaitAck
+	// btWaitUnmark: UNMARK released; awaiting its return.
+	btWaitUnmark
+)
+
+// New constructs the processor automaton for one node.
+func New(cfg *Config, info sim.NodeInfo) *Processor {
+	p := &Processor{cfg: cfg, info: info, killPending: -1}
+	for i := 0; i < wire.NumGrowKinds; i++ {
+		p.grow[i] = snake.NewGrowRelay(cfg.SnakeDelay)
+	}
+	for i := 0; i < wire.NumDieKinds; i++ {
+		p.die[i] = snake.NewDieRelay(cfg.SnakeDelay)
+	}
+	if info.Root {
+		p.root.conv = snake.NewGrowRelay(cfg.SnakeDelay)
+		p.dfs.visited = true
+		p.rootKick = !cfg.PassiveRoot
+	}
+	return p
+}
+
+// NewFactory adapts New to the engine's factory signature.
+func NewFactory(cfg Config) func(sim.NodeInfo) sim.Automaton {
+	return func(info sim.NodeInfo) sim.Automaton {
+		c := cfg
+		return New(&c, info)
+	}
+}
+
+// Terminated reports whether the root has entered its terminal state.
+func (p *Processor) Terminated() bool { return p.terminated }
+
+// Busy reports whether the processor may act without input this tick.
+func (p *Processor) Busy() bool {
+	if p.rootKick || p.pendingKick != kickNone {
+		return true
+	}
+	if p.terminated {
+		return false
+	}
+	if p.rca.ini.Busy() || p.bcaI.ini.Busy() {
+		return true
+	}
+	for i := range p.grow {
+		if p.grow[i].Busy() {
+			return true
+		}
+	}
+	for i := range p.die {
+		if p.die[i].Busy() {
+			return true
+		}
+	}
+	if p.info.Root {
+		if p.root.conv.Busy() {
+			return true
+		}
+		if p.root.odConv != nil && (p.root.odConv.Busy() || !p.root.odConv.Done()) {
+			return true
+		}
+	}
+	if p.rca.conv != nil && (p.rca.conv.Busy() || !p.rca.conv.Done()) {
+		return true
+	}
+	if p.bcaI.conv != nil && (p.bcaI.conv.Busy() || !p.bcaI.conv.Done()) {
+		return true
+	}
+	return p.marks.busy() || p.killPending >= 0
+}
+
+// Step implements sim.Automaton.
+func (p *Processor) Step(in, out []wire.Message) {
+	p.scratch = scratch{}
+	p.beginTick()
+
+	// A KILL token is applied before this tick's characters are read:
+	// residue it erases is by definition from an older flood, while a
+	// fresh snake character sharing a wire with a relayed KILL (both
+	// emitted by the same upstream processor in one tick) belongs to the
+	// *new* transaction and must survive.
+	for port := 1; port <= p.info.Delta; port++ {
+		if in[port-1].Kill {
+			p.handleKill()
+			break
+		}
+	}
+
+	// Input phase: ports in ascending order so the paper's simultaneity
+	// tie-break (lowest in-port first) holds.
+	for port := 1; port <= p.info.Delta; port++ {
+		m := &in[port-1]
+		if m.IsBlank() {
+			continue
+		}
+		for i := 0; i < wire.NumGrowKinds; i++ {
+			if m.HasGrow[i] {
+				c := snake.FromGrow(m.Grow[i])
+				if c.Part != wire.Tail && c.In == wire.Star {
+					c.In = uint8(port)
+				}
+				p.receiveGrow(wire.GrowKindAt(i), c, uint8(port))
+			}
+		}
+		for i := 0; i < wire.NumDieKinds; i++ {
+			if m.HasDie[i] {
+				p.receiveDie(wire.DieKindAt(i), snake.FromDie(m.Die[i]), uint8(port))
+			}
+		}
+		if m.HasLoop {
+			p.receiveLoop(m.Loop, uint8(port))
+		}
+		if m.HasDFS {
+			p.receiveDFS(m.DFS.Out, uint8(port))
+		}
+	}
+
+	if p.rootKick {
+		p.rootKick = false
+		p.dfsAdvance()
+	}
+	switch p.pendingKick {
+	case kickRCA:
+		p.pendingKick = kickNone
+		p.startRCA(p.kickTok)
+	case kickBCA:
+		p.pendingKick = kickNone
+		p.startBCA(p.kickPort, p.kickPayload)
+	}
+
+	p.emit(out)
+}
+
+// beginTick ages every pipeline exactly once.
+func (p *Processor) beginTick() {
+	for i := range p.grow {
+		p.grow[i].BeginTick()
+	}
+	for i := range p.die {
+		p.die[i].BeginTick()
+	}
+	if p.info.Root {
+		p.root.conv.BeginTick()
+		if p.root.odConv != nil {
+			p.root.odConv.BeginTick()
+		}
+	}
+	if p.rca.conv != nil {
+		p.rca.conv.BeginTick()
+	}
+	if p.bcaI.conv != nil {
+		p.bcaI.conv.BeginTick()
+	}
+	p.marks.age()
+	if p.killPending > 0 {
+		p.killPending--
+	}
+}

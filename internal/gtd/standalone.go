@@ -1,0 +1,61 @@
+package gtd
+
+import (
+	"fmt"
+
+	"topomap/internal/wire"
+)
+
+// This file exposes the paper's auxiliary protocols — the Root Communication
+// Algorithm (§4.2) and the Backwards Communication Algorithm (§4.1) — as
+// standalone primitives: a single processor can be instructed to run one
+// transaction, after which the network returns to global quiescence. The
+// full GTD protocol drives the same machinery internally; the standalone
+// entry points exist for the public API, for isolation tests, and for the
+// per-primitive cost experiments (E3/E4).
+
+// StartRCA arms the processor to initiate one Root Communication Algorithm
+// transaction carrying the given loop token (FORWARD(i, j) or BACK) on its
+// next step. The processor must be idle and must not be the root.
+func (p *Processor) StartRCA(tok wire.LoopToken) error {
+	if p.info.Root {
+		return fmt.Errorf("gtd: the root cannot initiate an RCA with itself")
+	}
+	if p.rca.phase != rcaIdle || p.pendingKick != kickNone {
+		return fmt.Errorf("gtd: processor busy; cannot start RCA")
+	}
+	p.pendingKick = kickRCA
+	p.kickTok = tok
+	p.dfs.afterRCA = afterIdle
+	return nil
+}
+
+// StartBCA arms the processor to initiate one Backwards Communication
+// Algorithm transaction on its next step: payload is delivered to the
+// processor wired to in-port targetPort (1-based), which acknowledges and
+// cleans up. The delivered payload is retrievable at the target via
+// DeliveredPayload.
+func (p *Processor) StartBCA(targetPort int, payload wire.Payload) error {
+	if targetPort < 1 || targetPort > p.info.Delta || !p.info.InWired[targetPort-1] {
+		return fmt.Errorf("gtd: in-port %d is not wired", targetPort)
+	}
+	if p.bcaI.phase != biIdle || p.pendingKick != kickNone {
+		return fmt.Errorf("gtd: processor busy; cannot start BCA")
+	}
+	p.pendingKick = kickBCA
+	p.kickPort = uint8(targetPort)
+	p.kickPayload = payload
+	return nil
+}
+
+// DeliveredPayload returns the most recent application payload this
+// processor received as a BCA target (PayloadNone if none), and how many
+// such deliveries completed. DFS returns of the full protocol are not
+// counted.
+func (p *Processor) DeliveredPayload() (wire.Payload, int) {
+	return p.lastDelivered, p.deliveredCount
+}
+
+// RCACount returns how many RCA transactions this processor completed as
+// the initiator.
+func (p *Processor) RCACount() int { return p.rcaCount }

@@ -1,0 +1,25 @@
+package gtd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topomap/internal/graph"
+)
+
+func TestGTDStress(t *testing.T) {
+	for seed := int64(100); seed < 200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2 + rng.Intn(60)
+			delta := 2 + rng.Intn(4)
+			m := n + rng.Intn(n*delta-n+1)
+			g := graph.Random(n, delta, m, seed)
+			root := rng.Intn(n)
+			got, _ := runGTD(t, g, root)
+			checkExact(t, g, root, got)
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Package lowerbound reproduces the counting argument of §5 of the paper:
+// Lemma 5.1 (a super-exponential family of distinct small-diameter
+// topologies), Lemma 5.2 (the root can have seen at most |I|^(δ·t) distinct
+// transcripts after t ticks) and Theorem 5.1 (any algorithm solving the
+// Global Topology Determination Problem needs Ω(N log N) ticks).
+package lowerbound
+
+import (
+	"math"
+)
+
+// TreeLoopFamily describes one instance size of the Lemma 5.1 counting
+// family: a full binary tree of the given height with bidirectional edges
+// plus a directed loop through a permutation of the bottom level.
+type TreeLoopFamily struct {
+	Height int
+	Leaves int
+	// N is the number of processors, 2^(height+1) - 1.
+	N int
+	// Diameter bounds the family's diameter: ≤ 2·height + 1 as in the
+	// lemma (up the tree and down, or one loop hop).
+	Diameter int
+	// LogTopologies is a lower bound on ln G(N): the number of distinct
+	// loop arrangements, ln((ℓ-1)!) minus ln of the tree's automorphism
+	// group 2^(ℓ-1), a conservative discount for relabellings that could
+	// identify arrangements.
+	LogTopologies float64
+}
+
+// TreeLoop evaluates the family at the given tree height (≥ 2).
+func TreeLoop(height int) TreeLoopFamily {
+	leaves := 1 << height
+	f := TreeLoopFamily{
+		Height:   height,
+		Leaves:   leaves,
+		N:        2*leaves - 1,
+		Diameter: 2*height + 1,
+	}
+	// ln((ℓ-1)!) via the log-gamma function; Γ(ℓ) = (ℓ-1)!.
+	lg, _ := math.Lgamma(float64(leaves))
+	f.LogTopologies = lg - float64(leaves-1)*math.Ln2
+	if f.LogTopologies < 0 {
+		f.LogTopologies = 0
+	}
+	return f
+}
+
+// TranscriptsAfter bounds, per Lemma 5.2, the natural log of the number of
+// distinct computational transcripts the root can have produced after t
+// global clock ticks, for a wire alphabet of the given size and degree
+// bound δ: ln(|I|^(δ·t)) = δ·t·ln|I|.
+func TranscriptsAfter(t int, alphabetSize float64, delta int) float64 {
+	return float64(delta) * float64(t) * math.Log(alphabetSize)
+}
+
+// MinTicks inverts Lemma 5.2 as in Theorem 5.1's proof: to distinguish
+// e^logTopologies topologies the root needs at least
+// logTopologies / (δ·ln|I|) ticks.
+func MinTicks(logTopologies float64, alphabetSize float64, delta int) float64 {
+	return logTopologies / (float64(delta) * math.Log(alphabetSize))
+}
+
+// NLogN returns N·ln N, the shape of the Theorem 5.1 bound, for plotting
+// measured times against.
+func NLogN(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) * math.Log(float64(n))
+}
+
+// FactorialCheck returns (ℓ-1)! exactly for small ℓ, used by tests to
+// validate the Lgamma path.
+func FactorialCheck(l int) float64 {
+	f := 1.0
+	for i := 2; i < l; i++ {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,88 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"topomap/internal/wire"
+)
+
+func TestTreeLoopCounts(t *testing.T) {
+	f := TreeLoop(3)
+	if f.Leaves != 8 || f.N != 15 || f.Diameter != 7 {
+		t.Fatalf("height-3 family wrong: %+v", f)
+	}
+	// ln G = ln(7!) - 7·ln2.
+	want := math.Log(FactorialCheck(8)) - 7*math.Ln2
+	if math.Abs(f.LogTopologies-want) > 1e-9 {
+		t.Fatalf("logG = %g, want %g", f.LogTopologies, want)
+	}
+}
+
+func TestTreeLoopMonotone(t *testing.T) {
+	prev := -1.0
+	for h := 2; h <= 20; h++ {
+		f := TreeLoop(h)
+		if f.LogTopologies <= prev {
+			t.Fatalf("logG must grow with height: h=%d gives %g after %g", h, f.LogTopologies, prev)
+		}
+		prev = f.LogTopologies
+	}
+}
+
+func TestSuperExponentialGrowth(t *testing.T) {
+	// Lemma 5.1: G(N) ≥ N^{CN} for some C — equivalently
+	// logG/(N·lnN) is bounded below by a positive constant for large N.
+	for _, h := range []int{10, 14, 18} {
+		f := TreeLoop(h)
+		ratio := f.LogTopologies / NLogN(f.N)
+		if ratio < 0.2 {
+			t.Fatalf("h=%d: logG/(N lnN) = %g too small for N^{CN} growth", h, ratio)
+		}
+	}
+}
+
+func TestMinTicksInversion(t *testing.T) {
+	alpha := wire.AlphabetSize(2)
+	logG := 1000.0
+	ticks := MinTicks(logG, alpha, 2)
+	// Inverting: after `ticks` ticks the transcript count must just
+	// cover G.
+	if got := TranscriptsAfter(int(math.Ceil(ticks)), alpha, 2); got < logG {
+		t.Fatalf("transcript ceiling %g below logG %g", got, logG)
+	}
+	if got := TranscriptsAfter(int(ticks*0.5), alpha, 2); got > logG {
+		t.Fatalf("half the ticks should not suffice: %g > %g", got, logG)
+	}
+}
+
+func TestNLogN(t *testing.T) {
+	if NLogN(1) != 0 {
+		t.Fatal("NLogN(1) = 0")
+	}
+	if math.Abs(NLogN(100)-100*math.Log(100)) > 1e-9 {
+		t.Fatal("NLogN(100) wrong")
+	}
+}
+
+func TestFactorialCheck(t *testing.T) {
+	if FactorialCheck(5) != 24 { // (5-1)! = 24
+		t.Fatalf("FactorialCheck(5) = %g", FactorialCheck(5))
+	}
+}
+
+func TestTheorem51Shape(t *testing.T) {
+	// The implied lower bound T_lb(N) = logG/(δ ln|I|) must itself grow
+	// like N log N: the ratio T_lb/(N lnN) stabilises.
+	alpha := wire.AlphabetSize(4)
+	var ratios []float64
+	for _, h := range []int{10, 14, 18} {
+		f := TreeLoop(h)
+		ratios = append(ratios, MinTicks(f.LogTopologies, alpha, 4)/NLogN(f.N))
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] < ratios[i-1]*0.8 {
+			t.Fatalf("lower-bound ratio collapsing: %v", ratios)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package mapper implements the paper's master computer (§1.2.1, §3): the
+// machine attached to the root that receives the communication processor's
+// I/O transcript and reconstructs the global topology of the directed
+// network.
+//
+// Faithful to the model, the mapper reads ONLY the root's per-tick in-port
+// symbols — it has no access to the network, the engine, or any processor
+// state. It tracks the protocol's observable phases, reads the canonical
+// paths A→root (from the IG snake converted at the root) and root→A (from
+// the ID snake converted at the root) per Lemma 4.1, identifies processors
+// by their canonical root→A path (deterministic and unique per processor),
+// and maintains the stack of §3: a FORWARD(i, j) token draws an edge from
+// the processor atop the stack to the current processor and pushes it; a
+// BACK token pops. Direct DFS arrivals at the root and BCA deliveries to the
+// root are the root-local equivalents.
+package mapper
+
+import (
+	"fmt"
+	"strings"
+
+	"topomap/internal/graph"
+	"topomap/internal/sim"
+	"topomap/internal/wire"
+)
+
+// PathEdge is one hop of a canonical path: the sender's out-port and the
+// receiver's in-port.
+type PathEdge struct {
+	Out, In uint8
+}
+
+// Signature renders a canonical path as a node-identity string.
+func Signature(path []PathEdge) string {
+	var b strings.Builder
+	for _, e := range path {
+		fmt.Fprintf(&b, "%d:%d;", e.Out, e.In)
+	}
+	return b.String()
+}
+
+type phase uint8
+
+const (
+	// phIdle: root open; awaiting the next transaction.
+	phIdle phase = iota
+	// phRCAIG: reading the IG snake on the locked in-port (RCA step 2).
+	phRCAIG
+	// phRCAWaitID: IG read; awaiting the ID snake head (RCA step 3).
+	phRCAWaitID
+	// phRCAID: reading the ID snake on the predecessor in-port.
+	phRCAID
+	// phRCAWaitTok: awaiting the FORWARD/BACK loop token (RCA step 4).
+	phRCAWaitTok
+	// phRCAWaitUnmark: awaiting the UNMARK token (RCA step 5).
+	phRCAWaitUnmark
+	// phRootBCAInit: the root is returning the DFS token via its own BCA;
+	// awaiting the UNMARK token through the designated in-port.
+	phRootBCAInit
+	// phRootBCATarget: a child is returning the DFS token to the root via
+	// the BCA; awaiting the UNMARK token.
+	phRootBCATarget
+	// phBDRelay: the root is an intermediate processor on another BCA's
+	// marked loop; awaiting the UNMARK token.
+	phBDRelay
+)
+
+// Mapper consumes the root transcript and reconstructs the topology.
+type Mapper struct {
+	delta int
+
+	ph       phase
+	lockPort uint8 // in-port of the accepted IG stream
+	pred     uint8 // predecessor in-port (ID arrival / BD head arrival)
+	bcaPort  uint8 // designated in-port of a root-initiated BCA
+
+	igPath []PathEdge
+	idPath []PathEdge
+
+	nodes map[string]int
+	sigs  []string
+	stack []int
+	edges []graph.Edge
+
+	// Transactions counts completed RCAs plus root-local equivalents.
+	Transactions int
+
+	err error
+}
+
+// New returns a mapper for a root with the given degree bound.
+func New(delta int) *Mapper {
+	m := &Mapper{
+		delta: delta,
+		nodes: map[string]int{"": 0}, // the root has the empty signature
+		sigs:  []string{""},
+		stack: []int{0},
+	}
+	return m
+}
+
+// Err returns the first decoding error encountered, if any.
+func (m *Mapper) Err() error { return m.err }
+
+func (m *Mapper) fail(tick int, format string, args ...interface{}) {
+	if m.err == nil {
+		m.err = fmt.Errorf("mapper: tick %d: %s", tick, fmt.Sprintf(format, args...))
+	}
+}
+
+// Process consumes one transcript entry. Entries must be fed in order.
+func (m *Mapper) Process(e sim.TranscriptEntry) {
+	if m.err != nil {
+		return
+	}
+	for port := 1; port <= len(e.In); port++ {
+		msg := &e.In[port-1]
+		if msg.IsBlank() {
+			continue
+		}
+		m.inspect(e.Tick, msg, uint8(port))
+		if m.err != nil {
+			return
+		}
+	}
+}
+
+// inspect handles one non-blank in-port symbol. Like the processor itself,
+// the master computer rewrites a character's ∗ entry to the in-port of
+// arrival (§2.3.2) before interpreting it.
+func (m *Mapper) inspect(tick int, msg *wire.Message, port uint8) {
+	// KILL tokens and BG flood traffic are protocol noise at the root in
+	// every phase.
+	for i := 0; i < wire.NumGrowKinds; i++ {
+		if !msg.HasGrow[i] {
+			continue
+		}
+		c := msg.Grow[i]
+		if c.Part != wire.Tail && c.In == wire.Star {
+			c.In = port
+		}
+		switch c.Kind {
+		case wire.KindIG:
+			m.onIG(tick, c, port)
+		case wire.KindOG, wire.KindBG:
+			// The root's own OG broadcast reflecting back, or a
+			// BCA flood being relayed: no information.
+		}
+	}
+	for i := 0; i < wire.NumDieKinds; i++ {
+		if !msg.HasDie[i] {
+			continue
+		}
+		c := msg.Die[i]
+		if c.Part != wire.Tail && c.In == wire.Star {
+			c.In = port
+		}
+		switch c.Kind {
+		case wire.KindID:
+			m.onID(tick, c, port)
+		case wire.KindOD:
+			m.fail(tick, "OD character arrived at the root")
+		case wire.KindBD:
+			m.onBD(tick, c, port)
+		}
+	}
+	if msg.HasLoop {
+		m.onLoop(tick, msg.Loop, port)
+	}
+	if msg.HasDFS {
+		m.onDFS(tick, msg.DFS, port)
+	}
+}
+
+func (m *Mapper) onIG(tick int, c wire.GrowChar, port uint8) {
+	switch m.ph {
+	case phIdle:
+		if c.Part != wire.Head {
+			m.fail(tick, "IG %v reached the open root before a head — stale growing residue", c)
+			return
+		}
+		m.ph = phRCAIG
+		m.lockPort = port
+		m.igPath = m.igPath[:0]
+		m.igPath = append(m.igPath, PathEdge{c.Out, c.In})
+	case phRCAIG:
+		if port != m.lockPort {
+			return // a competing IG snake; the root ignores it
+		}
+		if c.Part == wire.Tail {
+			if last := m.igPath[len(m.igPath)-1]; last.In != m.lockPort {
+				m.fail(tick, "IG path does not end at the accepting in-port (%d != %d)", last.In, m.lockPort)
+				return
+			}
+			m.ph = phRCAWaitID
+			return
+		}
+		m.igPath = append(m.igPath, PathEdge{c.Out, c.In})
+	default:
+		// IG characters at a closed root carry no information.
+	}
+}
+
+func (m *Mapper) onID(tick int, c wire.DieChar, port uint8) {
+	switch m.ph {
+	case phRCAWaitID:
+		if c.Part != wire.Head {
+			m.fail(tick, "ID stream reached the root without a head")
+			return
+		}
+		if port != m.lockPort {
+			m.fail(tick, "ID snake arrived at in-port %d, expected the IG path's final in-port %d", port, m.lockPort)
+			return
+		}
+		m.ph = phRCAID
+		m.pred = port
+		m.idPath = m.idPath[:0]
+		m.idPath = append(m.idPath, PathEdge{c.Out, c.In})
+	case phRCAID:
+		if port != m.pred {
+			m.fail(tick, "ID character off the marked path")
+			return
+		}
+		if c.Part == wire.Tail {
+			m.ph = phRCAWaitTok
+			return
+		}
+		m.idPath = append(m.idPath, PathEdge{c.Out, c.In})
+	default:
+		m.fail(tick, "unexpected ID character in phase %d", m.ph)
+	}
+}
+
+func (m *Mapper) onBD(tick int, c wire.DieChar, port uint8) {
+	switch m.ph {
+	case phIdle:
+		if c.Part != wire.Head {
+			m.fail(tick, "BD %v at idle root before a head", c)
+			return
+		}
+		m.pred = port
+		if c.Flag {
+			// The root is the BCA target: the DFS token is being
+			// returned to the root.
+			if c.Payload != wire.PayloadDFSReturn {
+				m.fail(tick, "unexpected BCA payload %v at the root", c.Payload)
+				return
+			}
+			m.ph = phRootBCATarget
+			return
+		}
+		// The root is a mere intermediate on another BCA's loop.
+		m.ph = phBDRelay
+	case phRootBCATarget, phBDRelay:
+		// Stream characters passing through; no information.
+		if port != m.pred {
+			m.fail(tick, "BD character off the marked path")
+		}
+	case phRootBCAInit:
+		// The BD tail re-entering the root (initiator side).
+		if port != m.bcaPort {
+			m.fail(tick, "BD character at initiator root off the designated in-port")
+		}
+	default:
+		m.fail(tick, "unexpected BD character in phase %d", m.ph)
+	}
+}
+
+func (m *Mapper) onLoop(tick int, t wire.LoopToken, port uint8) {
+	switch m.ph {
+	case phRCAWaitTok:
+		if port != m.pred {
+			m.fail(tick, "loop token off the marked loop")
+			return
+		}
+		switch t.Type {
+		case wire.LoopForward:
+			m.applyForward(tick, t.Out, t.In, m.idPath)
+		case wire.LoopBack:
+			m.applyBack(tick, m.idPath)
+		default:
+			m.fail(tick, "unexpected %v token during RCA", t.Type)
+			return
+		}
+		m.ph = phRCAWaitUnmark
+	case phRCAWaitUnmark:
+		if t.Type != wire.LoopUnmark || port != m.pred {
+			m.fail(tick, "expected UNMARK on the marked loop, got %v at port %d", t, port)
+			return
+		}
+		m.ph = phIdle
+		m.Transactions++
+	case phRootBCAInit:
+		if port != m.bcaPort {
+			m.fail(tick, "loop token at initiator root off the designated in-port")
+			return
+		}
+		if t.Type == wire.LoopUnmark {
+			m.ph = phIdle
+			m.Transactions++
+		}
+		// ACK: delivery confirmation; nothing to record.
+	case phRootBCATarget:
+		if port != m.pred {
+			m.fail(tick, "loop token at target root off the marked loop")
+			return
+		}
+		if t.Type == wire.LoopUnmark {
+			// The BCA has closed: the DFS token is back at the
+			// root; pop the child it returned from.
+			m.applyBack(tick, nil)
+			m.ph = phIdle
+			m.Transactions++
+		}
+	case phBDRelay:
+		if port != m.pred {
+			m.fail(tick, "loop token at relaying root off the marked loop")
+			return
+		}
+		if t.Type == wire.LoopUnmark {
+			m.ph = phIdle
+		}
+	default:
+		m.fail(tick, "unexpected loop token %v in phase %d", t, m.ph)
+	}
+}
+
+func (m *Mapper) onDFS(tick int, t wire.DFSToken, port uint8) {
+	if m.ph != phIdle {
+		m.fail(tick, "DFS token arrived at the root mid-transaction")
+		return
+	}
+	// A forward arrival at the root: draw the edge from the stack top to
+	// the root, push the root, and expect the root's own BCA to return
+	// the token.
+	top := m.stack[len(m.stack)-1]
+	m.addEdge(tick, top, t.Out, 0, port)
+	m.stack = append(m.stack, 0)
+	m.ph = phRootBCAInit
+	m.bcaPort = port
+}
+
+// applyForward handles a FORWARD(out, in) report by processor A, identified
+// by the canonical root→A path.
+func (m *Mapper) applyForward(tick int, outPort, inPort uint8, rootToA []PathEdge) {
+	sig := Signature(rootToA)
+	id, known := m.nodes[sig]
+	if !known {
+		id = len(m.sigs)
+		m.nodes[sig] = id
+		m.sigs = append(m.sigs, sig)
+	}
+	top := m.stack[len(m.stack)-1]
+	m.addEdge(tick, top, outPort, id, inPort)
+	m.stack = append(m.stack, id)
+}
+
+// applyBack handles a BACK report (or a root-local DFS return): pop the
+// stack. rootToA, when non-nil, identifies the processor that ran the BACK
+// RCA; after the pop it must sit atop the stack.
+func (m *Mapper) applyBack(tick int, rootToA []PathEdge) {
+	if len(m.stack) <= 1 {
+		m.fail(tick, "BACK with an empty stack")
+		return
+	}
+	m.stack = m.stack[:len(m.stack)-1]
+	if rootToA != nil {
+		sig := Signature(rootToA)
+		id, known := m.nodes[sig]
+		if !known {
+			m.fail(tick, "BACK from an unmapped processor (signature %q)", sig)
+			return
+		}
+		if top := m.stack[len(m.stack)-1]; top != id {
+			m.fail(tick, "BACK by node %d but stack top is %d", id, top)
+		}
+	}
+}
+
+func (m *Mapper) addEdge(tick int, from int, outPort uint8, to int, inPort uint8) {
+	if outPort < 1 || int(outPort) > m.delta || inPort < 1 || int(inPort) > m.delta {
+		m.fail(tick, "edge with out-of-range ports %d:%d", outPort, inPort)
+		return
+	}
+	m.edges = append(m.edges, graph.Edge{From: from, OutPort: int(outPort), To: to, InPort: int(inPort)})
+}
+
+// NumNodes returns the number of processors discovered so far.
+func (m *Mapper) NumNodes() int { return len(m.sigs) }
+
+// Finish validates the final state and returns the reconstructed
+// port-labelled topology. The root is node 0.
+func (m *Mapper) Finish() (*graph.Graph, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if m.ph != phIdle {
+		return nil, fmt.Errorf("mapper: transcript ended mid-transaction (phase %d)", m.ph)
+	}
+	if len(m.stack) != 1 || m.stack[0] != 0 {
+		return nil, fmt.Errorf("mapper: depth-first search did not return to the root (stack %v)", m.stack)
+	}
+	g := graph.New(len(m.sigs), m.delta)
+	for _, e := range m.edges {
+		if err := g.Connect(e.From, e.OutPort, e.To, e.InPort); err != nil {
+			return nil, fmt.Errorf("mapper: inconsistent edge report: %v", err)
+		}
+	}
+	return g, nil
+}
+
+// NodeSignature returns the canonical root→A path signature of mapped node
+// id, for diagnostics.
+func (m *Mapper) NodeSignature(id int) string { return m.sigs[id] }

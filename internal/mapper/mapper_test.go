@@ -1,0 +1,288 @@
+package mapper
+
+import (
+	"strings"
+	"testing"
+
+	"topomap/internal/sim"
+	"topomap/internal/wire"
+)
+
+// entry builds a transcript entry with the given per-port inputs.
+func entry(tick int, delta int, set func(in []wire.Message)) sim.TranscriptEntry {
+	in := make([]wire.Message, delta)
+	set(in)
+	return sim.TranscriptEntry{Tick: tick, In: in}
+}
+
+func TestSignature(t *testing.T) {
+	p := []PathEdge{{1, 2}, {3, 1}}
+	if got := Signature(p); got != "1:2;3:1;" {
+		t.Fatalf("signature %q", got)
+	}
+	if Signature(nil) != "" {
+		t.Fatal("the root's signature must be empty")
+	}
+}
+
+func TestMapperRejectsStaleIGBody(t *testing.T) {
+	m := New(2)
+	m.Process(entry(5, 2, func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Body, Out: 1, In: 1})
+	}))
+	if m.Err() == nil {
+		t.Fatal("a non-head IG character at the open root is stale residue and must be flagged")
+	}
+	if !strings.Contains(m.Err().Error(), "stale") {
+		t.Fatalf("unhelpful error: %v", m.Err())
+	}
+}
+
+func TestMapperRejectsODAtRoot(t *testing.T) {
+	m := New(2)
+	m.Process(entry(1, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindOD, Part: Headless(), Out: 1, In: 1})
+	}))
+	if m.Err() == nil {
+		t.Fatal("OD characters never reach the root")
+	}
+}
+
+// Headless returns a body part (helper to keep test expressions short).
+func Headless() wire.Part { return wire.Body }
+
+func TestMapperRejectsIDBeforeIG(t *testing.T) {
+	m := New(2)
+	m.Process(entry(1, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: wire.Head, Out: 1, In: 1})
+	}))
+	if m.Err() == nil {
+		t.Fatal("an ID snake before any IG snake is a protocol violation")
+	}
+}
+
+func TestMapperRejectsDFSMidTransaction(t *testing.T) {
+	m := New(2)
+	m.Process(entry(1, 2, func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Head, Out: 1, In: 1})
+	}))
+	m.Process(entry(2, 2, func(in []wire.Message) {
+		in[1].SetDFS(wire.DFSToken{Out: 1})
+	}))
+	if m.Err() == nil {
+		t.Fatal("DFS token mid-RCA must be flagged")
+	}
+}
+
+func TestMapperFinishMidTransaction(t *testing.T) {
+	m := New(2)
+	m.Process(entry(1, 2, func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Head, Out: 1, In: 1})
+	}))
+	if _, err := m.Finish(); err == nil {
+		t.Fatal("finishing mid-transaction must error")
+	}
+}
+
+// feedRCA drives one complete, well-formed RCA transaction through the
+// mapper: a one-hop A→root path, the given root→A path identifying the
+// transaction's processor, and the given loop token.
+func feedRCA(m *Mapper, tok wire.LoopToken, idPath []PathEdge) {
+	tick := m.Transactions * 100
+	next := func(set func(in []wire.Message)) {
+		tick++
+		m.Process(entry(tick, 2, set))
+	}
+	// IG: head describing the final edge into the root (in-port 1).
+	next(func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Head, Out: 1, In: 1})
+	})
+	next(func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Tail})
+	})
+	// ID: the root→A path, head first.
+	for i, e := range idPath {
+		part := wire.Body
+		if i == 0 {
+			part = wire.Head
+		}
+		e := e
+		next(func(in []wire.Message) {
+			in[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: part, Out: e.Out, In: e.In})
+		})
+	}
+	next(func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: wire.Tail})
+	})
+	next(func(in []wire.Message) {
+		in[0].SetLoop(tok)
+	})
+	next(func(in []wire.Message) {
+		in[0].SetLoop(wire.LoopToken{Type: wire.LoopUnmark})
+	})
+}
+
+// Canonical root→X paths for the synthetic two-hop world root→A→B.
+var (
+	pathA = []PathEdge{{1, 1}}
+	pathB = []PathEdge{{1, 1}, {2, 1}}
+)
+
+func TestMapperSingleForwardTransaction(t *testing.T) {
+	m := New(2)
+	feedRCA(m, wire.LoopToken{Type: wire.LoopForward, Out: 1, In: 1}, pathA)
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	if m.NumNodes() != 2 {
+		t.Fatalf("expected root + A, got %d nodes", m.NumNodes())
+	}
+	if m.Transactions != 1 {
+		t.Fatalf("transactions = %d", m.Transactions)
+	}
+	// The stack now holds [root, A]: a Finish here must fail (the DFS
+	// has not returned).
+	if _, err := m.Finish(); err == nil {
+		t.Fatal("unbalanced stack must fail Finish")
+	}
+}
+
+func TestMapperDFSWalk(t *testing.T) {
+	// Model the real event order of a root→A→B exploration where B's
+	// only out-edge closes back to... B returns the token to A (BACK by
+	// A), and A returns it to the root via the BCA (flagged BD head).
+	m := New(2)
+	feedRCA(m, wire.LoopToken{Type: wire.LoopForward, Out: 1, In: 1}, pathA) // A discovered
+	feedRCA(m, wire.LoopToken{Type: wire.LoopForward, Out: 2, In: 1}, pathB) // B discovered
+	feedRCA(m, wire.LoopToken{Type: wire.LoopBack}, pathA)                   // token back at A
+	// A's BCA to the root: flagged head, tail, ACK, UNMARK.
+	tick := 1000
+	m.Process(entry(tick, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindBD, Part: wire.Head, Out: 1, In: 1,
+			Flag: true, Payload: wire.PayloadDFSReturn})
+	}))
+	m.Process(entry(tick+1, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindBD, Part: wire.Tail})
+	}))
+	m.Process(entry(tick+2, 2, func(in []wire.Message) {
+		in[0].SetLoop(wire.LoopToken{Type: wire.LoopAck})
+	}))
+	m.Process(entry(tick+3, 2, func(in []wire.Message) {
+		in[0].SetLoop(wire.LoopToken{Type: wire.LoopUnmark})
+	}))
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	g, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("mapped N=%d E=%d, want 3 nodes and 2 edges", g.N(), g.NumEdges())
+	}
+}
+
+func TestMapperBackWithEmptyStack(t *testing.T) {
+	m := New(2)
+	feedRCA(m, wire.LoopToken{Type: wire.LoopBack}, pathA)
+	if m.Err() == nil {
+		t.Fatal("BACK with only the root on the stack must error")
+	}
+}
+
+func TestMapperBackFromWrongNode(t *testing.T) {
+	m := New(2)
+	feedRCA(m, wire.LoopToken{Type: wire.LoopForward, Out: 1, In: 1}, pathA)
+	// A BACK whose root→A path names an unknown processor.
+	tick := 100
+	m.Process(entry(tick, 2, func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Head, Out: 2, In: 1})
+	}))
+	m.Process(entry(tick+1, 2, func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Tail})
+	}))
+	m.Process(entry(tick+2, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: wire.Head, Out: 2, In: 2})
+	}))
+	m.Process(entry(tick+3, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: wire.Tail})
+	}))
+	m.Process(entry(tick+4, 2, func(in []wire.Message) {
+		in[0].SetLoop(wire.LoopToken{Type: wire.LoopBack})
+	}))
+	if m.Err() == nil {
+		t.Fatal("BACK from an unmapped processor must error")
+	}
+}
+
+func TestMapperDuplicateEdgeRejectedAtFinish(t *testing.T) {
+	m := New(2)
+	// Two FORWARD(1,1) reports from the root to different processors:
+	// the same root out-port drawn twice, which Finish must reject.
+	feedRCA(m, wire.LoopToken{Type: wire.LoopForward, Out: 1, In: 1}, pathA)
+	feedRCA(m, wire.LoopToken{Type: wire.LoopForward, Out: 1, In: 1}, pathB)
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	if _, err := m.Finish(); err == nil {
+		t.Fatal("double-wired out-port must fail Finish")
+	}
+}
+
+func TestMapperIgnoresNoise(t *testing.T) {
+	m := New(2)
+	// KILLs, OG reflections and BG floods are protocol noise at the root.
+	m.Process(entry(1, 2, func(in []wire.Message) {
+		in[0].Kill = true
+		in[1].SetGrow(wire.GrowChar{Kind: wire.KindOG, Part: wire.Body, Out: 1, In: 1})
+	}))
+	m.Process(entry(2, 2, func(in []wire.Message) {
+		in[0].SetGrow(wire.GrowChar{Kind: wire.KindBG, Part: wire.Head, Out: 1, In: 1})
+	}))
+	if m.Err() != nil {
+		t.Fatalf("noise must be ignored: %v", m.Err())
+	}
+}
+
+func TestMapperRootAsBCARelay(t *testing.T) {
+	m := New(2)
+	// An unflagged BD head: the root is an intermediate on someone
+	// else's BCA loop. Stream passes, then ACK, then UNMARK; the mapper
+	// must return to idle with nothing recorded.
+	m.Process(entry(1, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindBD, Part: wire.Head, Out: 1, In: 1})
+	}))
+	m.Process(entry(2, 2, func(in []wire.Message) {
+		in[0].SetDie(wire.DieChar{Kind: wire.KindBD, Part: wire.Tail})
+	}))
+	m.Process(entry(3, 2, func(in []wire.Message) {
+		in[0].SetLoop(wire.LoopToken{Type: wire.LoopAck})
+	}))
+	m.Process(entry(4, 2, func(in []wire.Message) {
+		in[0].SetLoop(wire.LoopToken{Type: wire.LoopUnmark})
+	}))
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	g, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1 || g.NumEdges() != 0 {
+		t.Fatal("relay traffic must record nothing")
+	}
+}
+
+func TestMapperStarRewrite(t *testing.T) {
+	m := New(2)
+	// A fresh head with In=∗ arriving on port 2 must be read as In=2.
+	m.Process(entry(1, 2, func(in []wire.Message) {
+		in[1].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Head, Out: 1, In: wire.Star})
+	}))
+	m.Process(entry(2, 2, func(in []wire.Message) {
+		in[1].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Tail})
+	}))
+	if m.Err() != nil {
+		t.Fatalf("star rewrite failed: %v", m.Err())
+	}
+}

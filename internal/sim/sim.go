@@ -1,0 +1,346 @@
+// Package sim is the synchronous network substrate of the paper's model
+// (§1.1): a global clock, identical processors that within a single pulse
+// read all in-ports, change state, and write all out-ports, and
+// unidirectional wires each carrying one constant-size symbol per tick.
+// Quiescent processors emit the blank character (the zero wire.Message).
+//
+// The engine is deterministic: given the same graph and automata it produces
+// the same transcript every run. An activity tracker skips processors that
+// are idle and received only blanks; a naive mode steps every processor every
+// tick, and the two are tested to produce identical transcripts.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"topomap/internal/graph"
+	"topomap/internal/wire"
+)
+
+// NodeInfo describes a processor's local, constant-size knowledge: whether it
+// is the root, the degree bound, and which of its ports are wired (in-port
+// and out-port awareness, §1.2.1). Index identifies the node for
+// instrumentation and debugging only — protocol logic must never branch on
+// it, since the paper's processors are anonymous.
+type NodeInfo struct {
+	Index    int
+	Root     bool
+	Delta    int
+	InWired  []bool // InWired[p-1] reports whether in-port p is wired
+	OutWired []bool // OutWired[p-1] reports whether out-port p is wired
+}
+
+// Automaton is one finite-state communication processor.
+type Automaton interface {
+	// Step advances the processor by one global clock tick. in[p-1] is
+	// the symbol read from in-port p (the blank message for quiescent or
+	// unwired ports); the processor writes its outputs into out[p-1],
+	// which the engine provides zeroed. Step must be deterministic.
+	Step(in []wire.Message, out []wire.Message)
+	// Busy reports whether the processor may change state or emit a
+	// non-blank symbol even if every in-port reads blank. A processor
+	// that is not busy and receives only blanks is skipped by the
+	// activity tracker; by contract its Step would have been a no-op
+	// emitting blanks.
+	Busy() bool
+}
+
+// Terminator is implemented by root automata that reach the paper's special
+// terminal state.
+type Terminator interface {
+	Terminated() bool
+}
+
+// TranscriptEntry is one tick of the root's I/O transcript: everything the
+// root's master computer is allowed to see (§1.2.1).
+type TranscriptEntry struct {
+	Tick int
+	In   []wire.Message // by in-port, index p-1
+	Out  []wire.Message // by out-port, index p-1
+}
+
+// Observer receives a callback after every tick.
+type Observer interface {
+	AfterTick(t int, e *Engine)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(t int, e *Engine)
+
+// AfterTick implements Observer.
+func (f ObserverFunc) AfterTick(t int, e *Engine) { f(t, e) }
+
+// Options configures an Engine.
+type Options struct {
+	// Root is the index of the root processor. Default 0.
+	Root int
+	// MaxTicks aborts the run if the root has not terminated in time.
+	// Default 0 means a generous automatic bound of
+	// 64·N·(D-proxy)+4096 where the D-proxy is N (since D is unknown
+	// without an extra pass); callers running experiments set it
+	// explicitly.
+	MaxTicks int
+	// Naive disables activity tracking: every processor steps every
+	// tick. Used by tests to validate the tracker.
+	Naive bool
+	// Validate runs wire.Message.Validate on every emitted symbol and
+	// panics on violation (debug mode).
+	Validate bool
+	// Transcript, if non-nil, receives every tick on which the root read
+	// or wrote a non-blank symbol, in order.
+	Transcript func(TranscriptEntry)
+	// Observers are invoked after every tick in order.
+	Observers []Observer
+	// StopWhenQuiescent makes Run return successfully when the network
+	// reaches global quiescence (no busy processors, no in-flight
+	// symbols) even if the root has no terminal state. Used by
+	// standalone-primitive demos and tests.
+	StopWhenQuiescent bool
+}
+
+// Stats summarises a run.
+type Stats struct {
+	Ticks            int
+	NonBlankMessages int64 // total non-blank symbols delivered
+	StepCalls        int64 // automaton steps executed
+	MaxActive        int   // peak simultaneously active processors
+}
+
+// Engine executes a network of automata in lockstep over a graph.
+type Engine struct {
+	g     *graph.Graph
+	opts  Options
+	procs []Automaton
+
+	// Routing tables: for node v, out-port p (0-based), route[v][p] gives
+	// the destination node and 0-based in-port, or node -1.
+	route [][]graph.Endpoint
+
+	in      [][]wire.Message // current tick inputs, [node][in-port]
+	nextIn  [][]wire.Message
+	outBuf  [][]wire.Message
+	hasIn   []bool // node received a non-blank symbol this tick
+	nextHas []bool
+
+	tick  int
+	stats Stats
+	done  bool
+}
+
+// Errors returned by Run.
+var (
+	// ErrMaxTicks indicates the tick budget was exhausted before the root
+	// terminated: either the protocol is stuck or the budget is too small.
+	ErrMaxTicks = errors.New("sim: maximum tick count exceeded before termination")
+	// ErrDeadlock indicates global quiescence was reached while the root
+	// had not terminated and StopWhenQuiescent was not set.
+	ErrDeadlock = errors.New("sim: network quiescent before root terminated")
+)
+
+// New builds an engine over g; factory is called once per node, in index
+// order, to construct its automaton. The graph is not modified and must not
+// change during the run.
+func New(g *graph.Graph, opts Options, factory func(NodeInfo) Automaton) *Engine {
+	n := g.N()
+	delta := g.Delta()
+	e := &Engine{g: g, opts: opts}
+	if e.opts.MaxTicks <= 0 {
+		e.opts.MaxTicks = 64*n*n + 4096
+	}
+	e.procs = make([]Automaton, n)
+	e.route = make([][]graph.Endpoint, n)
+	e.in = make([][]wire.Message, n)
+	e.nextIn = make([][]wire.Message, n)
+	e.outBuf = make([][]wire.Message, n)
+	e.hasIn = make([]bool, n)
+	e.nextHas = make([]bool, n)
+	for v := 0; v < n; v++ {
+		info := NodeInfo{
+			Index:    v,
+			Root:     v == opts.Root,
+			Delta:    delta,
+			InWired:  make([]bool, delta),
+			OutWired: make([]bool, delta),
+		}
+		e.route[v] = make([]graph.Endpoint, delta)
+		for p := 1; p <= delta; p++ {
+			if ep, ok := g.OutEndpoint(v, p); ok {
+				info.OutWired[p-1] = true
+				e.route[v][p-1] = graph.Endpoint{Node: ep.Node, Port: ep.Port - 1}
+			} else {
+				e.route[v][p-1] = graph.Endpoint{Node: -1, Port: -1}
+			}
+			if _, ok := g.InEndpoint(v, p); ok {
+				info.InWired[p-1] = true
+			}
+		}
+		e.procs[v] = factory(info)
+		e.in[v] = make([]wire.Message, delta)
+		e.nextIn[v] = make([]wire.Message, delta)
+		e.outBuf[v] = make([]wire.Message, delta)
+	}
+	return e
+}
+
+// Graph returns the engine's topology (read-only by convention).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Tick returns the current global time (number of completed ticks).
+func (e *Engine) Tick() int { return e.tick }
+
+// Automaton returns the processor at the given node, for observers and
+// instrumentation.
+func (e *Engine) Automaton(v int) Automaton { return e.procs[v] }
+
+// PendingIn returns the symbol that node v will read on in-port p (1-based)
+// at the next tick: the message currently in flight on that wire. Observers
+// use it to inspect traffic; the protocol never does.
+func (e *Engine) PendingIn(v, p int) wire.Message { return e.in[v][p-1] }
+
+// Stats returns run statistics gathered so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// rootTerminated reports whether the root automaton has reached its terminal
+// state.
+func (e *Engine) rootTerminated() bool {
+	t, ok := e.procs[e.opts.Root].(Terminator)
+	return ok && t.Terminated()
+}
+
+// RunOne executes a single tick. It returns false when the run has finished
+// (root terminal or quiescent-with-permission); callers normally use Run.
+func (e *Engine) RunOne() (bool, error) {
+	if e.done {
+		return false, nil
+	}
+	if e.rootTerminated() {
+		e.done = true
+		return false, nil
+	}
+	if e.tick >= e.opts.MaxTicks {
+		return false, fmt.Errorf("%w (tick %d)", ErrMaxTicks, e.tick)
+	}
+
+	n := e.g.N()
+	delta := e.g.Delta()
+	anyActive := false
+	rootIdx := e.opts.Root
+
+	var rootIn, rootOut []wire.Message
+
+	for v := 0; v < n; v++ {
+		active := e.hasIn[v] || e.procs[v].Busy() || e.opts.Naive
+		if !active {
+			continue
+		}
+		anyActive = anyActive || e.hasIn[v] || e.procs[v].Busy()
+		in := e.in[v]
+		out := e.outBuf[v]
+		e.procs[v].Step(in, out)
+		e.stats.StepCalls++
+		nonBlankOut := false
+		for p := 0; p < delta; p++ {
+			if out[p].IsBlank() {
+				continue
+			}
+			nonBlankOut = true
+			if e.opts.Validate {
+				if err := out[p].Validate(delta); err != nil {
+					panic(fmt.Sprintf("sim: node %d tick %d out-port %d: %v", v, e.tick, p+1, err))
+				}
+			}
+			dst := e.route[v][p]
+			if dst.Node < 0 {
+				panic(fmt.Sprintf("sim: node %d tick %d wrote to unwired out-port %d", v, e.tick, p+1))
+			}
+			e.nextIn[dst.Node][dst.Port] = out[p]
+			e.nextHas[dst.Node] = true
+			e.stats.NonBlankMessages++
+		}
+		if v == rootIdx && e.opts.Transcript != nil {
+			rootStepped := false
+			for p := 0; p < delta; p++ {
+				if !in[p].IsBlank() {
+					rootStepped = true
+					break
+				}
+			}
+			if rootStepped || nonBlankOut {
+				rootIn = append([]wire.Message(nil), in...)
+				rootOut = append([]wire.Message(nil), out...)
+			}
+		}
+		// Reset the out buffer for the next use.
+		if nonBlankOut {
+			for p := 0; p < delta; p++ {
+				out[p] = wire.Message{}
+			}
+		}
+	}
+
+	if rootIn != nil {
+		e.opts.Transcript(TranscriptEntry{Tick: e.tick, In: rootIn, Out: rootOut})
+	}
+
+	// Clear the consumed inputs and swap buffers.
+	activeCount := 0
+	for v := 0; v < n; v++ {
+		if e.hasIn[v] {
+			ins := e.in[v]
+			for p := range ins {
+				ins[p] = wire.Message{}
+			}
+		}
+		if e.nextHas[v] {
+			activeCount++
+		}
+	}
+	if activeCount > e.stats.MaxActive {
+		e.stats.MaxActive = activeCount
+	}
+	e.in, e.nextIn = e.nextIn, e.in
+	e.hasIn, e.nextHas = e.nextHas, e.hasIn
+	for v := range e.nextHas {
+		e.nextHas[v] = false
+	}
+
+	e.tick++
+	e.stats.Ticks = e.tick
+	for _, ob := range e.opts.Observers {
+		ob.AfterTick(e.tick-1, e)
+	}
+
+	if !anyActive && !e.anyPending() {
+		e.done = true
+		if e.opts.StopWhenQuiescent || e.rootTerminated() {
+			return false, nil
+		}
+		return false, ErrDeadlock
+	}
+	return true, nil
+}
+
+// anyPending reports whether any symbol is in flight or any processor busy.
+func (e *Engine) anyPending() bool {
+	for v := range e.hasIn {
+		if e.hasIn[v] || e.procs[v].Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes ticks until the root terminates, the network quiesces, or the
+// tick budget is exhausted, and returns the statistics.
+func (e *Engine) Run() (Stats, error) {
+	for {
+		more, err := e.RunOne()
+		if err != nil {
+			return e.stats, err
+		}
+		if !more {
+			return e.stats, nil
+		}
+	}
+}

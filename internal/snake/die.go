@@ -1,0 +1,210 @@
+package snake
+
+import "topomap/internal/wire"
+
+// HeadEaten describes the consumption of a dying-snake head character
+// (§2.3.3): the eater sets its predecessor in-port to the port of arrival
+// and its successor out-port to the head's first entry. Flag/Payload are set
+// when the head was the flagged character of a BCA dying snake, identifying
+// the eater as the BCA target.
+type HeadEaten struct {
+	Pred    uint8
+	Succ    uint8
+	Flag    bool
+	Payload wire.Payload
+}
+
+// DieRelay is the behaviour of an intermediate processor on the path marked
+// by a dying snake: eat the arriving head (recording predecessor/successor),
+// promote the next character to the new head, then pass every further
+// character through unchanged; the tail passes through as-is and the relay
+// returns to idle, leaving the recorded marks to its owner.
+type DieRelay struct {
+	delay int
+
+	state   dieState
+	succ    uint8
+	pred    uint8
+	promote bool
+
+	pipe Pipeline
+}
+
+type dieState uint8
+
+const (
+	dieIdle dieState = iota
+	dieStreaming
+)
+
+// NewDieRelay returns a relay with the given pipeline hold.
+func NewDieRelay(delay int) DieRelay {
+	return DieRelay{delay: delay, pipe: NewPipeline(delay)}
+}
+
+// Busy reports whether the relay still holds characters to forward.
+func (r *DieRelay) Busy() bool { return r.pipe.Len() > 0 }
+
+// Active reports whether the relay is mid-stream.
+func (r *DieRelay) Active() bool { return r.state != dieIdle }
+
+// BeginTick advances pipeline ages; call exactly once per tick.
+func (r *DieRelay) BeginTick() { r.pipe.Age() }
+
+// Receive offers an arriving dying character. It returns a non-nil HeadEaten
+// when the character was consumed as this processor's head. Characters
+// arriving outside the protocol's expectations indicate a bug and panic.
+func (r *DieRelay) Receive(c Char, inPort uint8) *HeadEaten {
+	switch r.state {
+	case dieIdle:
+		if c.Part != wire.Head {
+			panic("snake: dying snake reached an idle relay with a non-head character")
+		}
+		r.state = dieStreaming
+		r.pred = inPort
+		r.succ = c.Out
+		r.promote = true
+		return &HeadEaten{Pred: inPort, Succ: c.Out, Flag: c.Flag, Payload: c.Payload}
+	case dieStreaming:
+		if inPort != r.pred {
+			panic("snake: dying character arrived off the marked path")
+		}
+		r.pipe.Push(c)
+	}
+	return nil
+}
+
+// Emit returns this tick's forwarded character and the out-port to use.
+// When the tail is emitted the relay resets to idle.
+func (r *DieRelay) Emit() (Char, uint8, bool) {
+	if r.state != dieStreaming {
+		return Char{}, 0, false
+	}
+	c, ok := r.pipe.Pop()
+	if !ok {
+		return Char{}, 0, false
+	}
+	succ := r.succ
+	switch {
+	case c.Part == wire.Tail:
+		// "If the next character happens to be a tail, then it gets
+		// sent through the successor out-port as is."
+		r.state = dieIdle
+		r.promote = false
+	case r.promote:
+		c.Part = wire.Head
+		r.promote = false
+	default:
+		c.Part = wire.Body
+	}
+	return c, succ, true
+}
+
+// DieConverter re-dresses an incoming character stream as a dying snake of a
+// new kind and funnels it through one out-port. It implements, depending on
+// wiring by the caller:
+//
+//   - RCA step 3 at processor A: the OG stream (head already eaten by the
+//     caller) becomes the ID snake;
+//   - RCA step 3 at the root: the ID stream becomes the OD snake;
+//   - the BCA at initiator B: the BG stream becomes the BD snake, and in
+//     flag mode the character immediately preceding the tail — the one the
+//     BCA target will consume as its head — is flagged and carries the
+//     constant-size payload. Flagging needs one character of look-ahead,
+//     which is constant memory.
+//
+// The first forwarded character is promoted to the head of the new snake; a
+// tail is forwarded as-is and completes the conversion.
+type DieConverter struct {
+	delay int
+
+	succ    uint8
+	promote bool
+	done    bool
+
+	flagMode bool
+	payload  wire.Payload
+	lookHas  bool
+	look     Char
+
+	pipe Pipeline
+}
+
+// NewDieConverter returns a converter emitting through out-port succ. If
+// flagMode is set, the character preceding the tail is flagged and carries
+// payload.
+func NewDieConverter(delay int, succ uint8, flagMode bool, payload wire.Payload) *DieConverter {
+	c := &DieConverter{delay: delay, succ: succ, promote: true, flagMode: flagMode, payload: payload}
+	c.pipe = NewPipeline(delay)
+	return c
+}
+
+// Busy reports whether characters remain buffered.
+func (c *DieConverter) Busy() bool { return !c.done && (c.pipe.Len() > 0 || c.lookHas) }
+
+// Done reports whether the tail has been forwarded.
+func (c *DieConverter) Done() bool { return c.done }
+
+// Succ returns the out-port the converter emits through.
+func (c *DieConverter) Succ() uint8 { return c.succ }
+
+// BeginTick advances pipeline ages; call exactly once per tick.
+func (c *DieConverter) BeginTick() { c.pipe.Age() }
+
+// Receive offers the next character of the source stream (the caller filters
+// by arrival port and strips the source alphabet). It reports whether the
+// received character was the tail — the moment the entire source snake has
+// been consumed, at which point its growing flood is provably useless and
+// the caller may release the KILL token early (see DESIGN.md).
+func (c *DieConverter) Receive(ch Char) bool {
+	if c.done {
+		panic("snake: character received after conversion completed")
+	}
+	if !c.flagMode {
+		c.pipe.Push(ch)
+		return ch.Part == wire.Tail
+	}
+	if !c.lookHas {
+		if ch.Part == wire.Tail {
+			panic("snake: BCA dying snake has no character to flag")
+		}
+		c.look = ch
+		c.lookHas = true
+		return false
+	}
+	prev := c.look
+	if ch.Part == wire.Tail {
+		prev.Flag = true
+		prev.Payload = c.payload
+		c.pipe.Push(prev)
+		c.pipe.Push(ch)
+		c.lookHas = false
+		return true
+	}
+	c.pipe.Push(prev)
+	c.look = ch
+	return false
+}
+
+// Emit returns this tick's converted character and the out-port to use.
+func (c *DieConverter) Emit() (Char, uint8, bool) {
+	if c.done {
+		return Char{}, 0, false
+	}
+	ch, ok := c.pipe.Pop()
+	if !ok {
+		return Char{}, 0, false
+	}
+	switch {
+	case ch.Part == wire.Tail:
+		c.done = true
+	case c.promote:
+		ch.Part = wire.Head
+	default:
+		ch.Part = wire.Body
+	}
+	if ch.Part != wire.Tail {
+		c.promote = false
+	}
+	return ch, c.succ, true
+}

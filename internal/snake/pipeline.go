@@ -1,0 +1,136 @@
+// Package snake implements the per-processor mechanics of the
+// Even–Litman–Winkler snake data structure as used by the paper: growing
+// snakes (information generators that carve breadth-first-search trees) and
+// dying snakes (path markers), together with the speed-s hold pipelines that
+// realise the paper's "speed" concept (§2.1): a speed-1 construct remains in
+// a processor for 3 global clock ticks per hop, a speed-3 construct for 1.
+//
+// Everything in this package is constant-size per processor: pipelines are
+// bounded FIFOs (characters arrive at most one per tick and leave at one per
+// tick after a constant hold), and all other state is a fixed set of port
+// numbers and flags. This is what keeps the processors finite-state.
+package snake
+
+import (
+	"fmt"
+
+	"topomap/internal/wire"
+)
+
+// Char is the kind-independent payload of a snake character. Out/In encode
+// one edge of a path: the sending processor's out-port and the receiving
+// processor's in-port (wire.Star until first received). Flag and Payload are
+// used only by the BCA dying snake (see DieConverter's flag mode).
+type Char struct {
+	Part    wire.Part
+	Out     uint8
+	In      uint8
+	Flag    bool
+	Payload wire.Payload
+}
+
+// FromGrow strips the kind from a wire growing character.
+func FromGrow(c wire.GrowChar) Char {
+	return Char{Part: c.Part, Out: c.Out, In: c.In}
+}
+
+// FromDie strips the kind from a wire dying character.
+func FromDie(c wire.DieChar) Char {
+	return Char{Part: c.Part, Out: c.Out, In: c.In, Flag: c.Flag, Payload: c.Payload}
+}
+
+// Grow dresses the character as a wire growing character of the given kind.
+func (c Char) Grow(kind wire.SnakeKind) wire.GrowChar {
+	return wire.GrowChar{Kind: kind, Part: c.Part, Out: c.Out, In: c.In}
+}
+
+// Die dresses the character as a wire dying character of the given kind.
+func (c Char) Die(kind wire.SnakeKind) wire.DieChar {
+	return wire.DieChar{Kind: kind, Part: c.Part, Out: c.Out, In: c.In, Flag: c.Flag, Payload: c.Payload}
+}
+
+func (c Char) String() string {
+	if c.Part == wire.Tail {
+		return "T"
+	}
+	f := ""
+	if c.Flag {
+		f = fmt.Sprintf("!%s", c.Payload)
+	}
+	return fmt.Sprintf("%s(%d,%d)%s", c.Part, c.Out, c.In, f)
+}
+
+// pipeCap bounds pipeline occupancy. Characters arrive at most one per tick
+// and are serviced at one per tick after a hold of at most Speed1Delay ticks,
+// so steady-state occupancy is at most Speed1Delay+2; the cap leaves slack
+// for the tail-insertion stall. Exceeding it indicates a protocol bug, not a
+// data-dependent condition, so the pipeline panics.
+const pipeCap = 8
+
+// Speed1Delay is the extra hold (in ticks beyond the wire transit) of a
+// speed-1 construct: arrive at tick t, leave with the outputs of tick t+2,
+// be read by the next processor at t+3 — three ticks per hop (§2.1).
+const Speed1Delay = 2
+
+// Speed3Delay is the extra hold of a speed-3 construct: arrive at tick t,
+// leave with the outputs of tick t — one tick per hop.
+const Speed3Delay = 0
+
+type pipeItem struct {
+	c   Char
+	age int8
+}
+
+// Pipeline is the bounded constant-delay FIFO through which snake characters
+// stream across a processor. Call Age once per tick before Push/Pop.
+type Pipeline struct {
+	delay int8
+	buf   [pipeCap]pipeItem
+	head  int8
+	n     int8
+}
+
+// NewPipeline returns a pipeline with the given extra hold in ticks
+// (Speed1Delay or Speed3Delay).
+func NewPipeline(delay int) Pipeline {
+	if delay < 0 || delay > pipeCap-2 {
+		panic("snake: pipeline delay out of range")
+	}
+	return Pipeline{delay: int8(delay)}
+}
+
+// Age advances the residence time of every queued character by one tick.
+func (p *Pipeline) Age() {
+	for i := int8(0); i < p.n; i++ {
+		p.buf[(p.head+i)%pipeCap].age++
+	}
+}
+
+// Push enqueues a character that arrived this tick.
+func (p *Pipeline) Push(c Char) {
+	if p.n == pipeCap {
+		panic("snake: pipeline overflow — protocol bug")
+	}
+	p.buf[(p.head+p.n)%pipeCap] = pipeItem{c: c}
+	p.n++
+}
+
+// Pop removes and returns the front character if it has completed its hold.
+func (p *Pipeline) Pop() (Char, bool) {
+	if p.n == 0 || p.buf[p.head].age < p.delay {
+		return Char{}, false
+	}
+	c := p.buf[p.head].c
+	p.head = (p.head + 1) % pipeCap
+	p.n--
+	return c, true
+}
+
+// Len returns the number of queued characters.
+func (p *Pipeline) Len() int { return int(p.n) }
+
+// Clear erases every queued character (KILL-token semantics).
+func (p *Pipeline) Clear() {
+	p.head = 0
+	p.n = 0
+}

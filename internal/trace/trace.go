@@ -1,0 +1,110 @@
+// Package trace collects human-readable protocol event timelines from the
+// instrumentation hooks, for the CLI's -trace mode, examples and debugging.
+// It is observation-only: processors never read it.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"topomap/internal/gtd"
+)
+
+// Event is one protocol event with its global clock tick.
+type Event struct {
+	Tick    int
+	Node    int
+	Kind    gtd.EventKind
+	Payload int
+}
+
+// KindName renders an event kind.
+func KindName(k gtd.EventKind) string {
+	switch k {
+	case gtd.EvRCAStart:
+		return "rca-start"
+	case gtd.EvRCADone:
+		return "rca-done"
+	case gtd.EvBCAStart:
+		return "bca-start"
+	case gtd.EvBCADone:
+		return "bca-done"
+	case gtd.EvBCADelivered:
+		return "bca-delivered"
+	case gtd.EvLoopReturn:
+		return "loop-return"
+	case gtd.EvDFSSent:
+		return "dfs-sent"
+	case gtd.EvDFSForwardArrival:
+		return "dfs-arrival"
+	case gtd.EvTerminated:
+		return "terminated"
+	}
+	return fmt.Sprintf("event-%d", k)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%-6d node=%-4d %s(%d)", e.Tick, e.Node, KindName(e.Kind), e.Payload)
+}
+
+// Tracer records events; it is safe for use from a single engine goroutine
+// plus readers after the run (the mutex guards late readers).
+type Tracer struct {
+	mu     sync.Mutex
+	tick   func() int
+	events []Event
+	limit  int
+}
+
+// New returns a tracer. tickFn supplies the current global tick (pass the
+// engine's Tick method); limit bounds memory (0 = unlimited).
+func New(tickFn func() int, limit int) *Tracer {
+	return &Tracer{tick: tickFn, limit: limit}
+}
+
+// Hook adapts the tracer to gtd.Hooks.
+func (tr *Tracer) Hook(node int, kind gtd.EventKind, payload int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.limit > 0 && len(tr.events) >= tr.limit {
+		return
+	}
+	t := 0
+	if tr.tick != nil {
+		t = tr.tick()
+	}
+	tr.events = append(tr.events, Event{Tick: t, Node: node, Kind: kind, Payload: payload})
+}
+
+// Events returns the recorded events.
+func (tr *Tracer) Events() []Event {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Event, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// Count returns the number of events of the given kind.
+func (tr *Tracer) Count(kind gtd.EventKind) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, e := range tr.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes the timeline to w.
+func (tr *Tracer) Dump(w io.Writer) error {
+	for _, e := range tr.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

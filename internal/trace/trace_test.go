@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"topomap/internal/gtd"
+)
+
+func TestTracerRecordsWithTicks(t *testing.T) {
+	tick := 7
+	tr := New(func() int { return tick }, 0)
+	tr.Hook(3, gtd.EvRCAStart, 1)
+	tick = 9
+	tr.Hook(3, gtd.EvRCADone, 0)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Tick != 7 || evs[1].Tick != 9 {
+		t.Fatalf("events: %v", evs)
+	}
+	if tr.Count(gtd.EvRCAStart) != 1 || tr.Count(gtd.EvBCAStart) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := New(nil, 2)
+	for i := 0; i < 5; i++ {
+		tr.Hook(i, gtd.EvDFSSent, i)
+	}
+	if len(tr.Events()) != 2 {
+		t.Fatalf("limit not enforced: %d events", len(tr.Events()))
+	}
+}
+
+func TestTracerDump(t *testing.T) {
+	tr := New(nil, 0)
+	tr.Hook(1, gtd.EvBCADelivered, 2)
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bca-delivered") {
+		t.Fatalf("dump output: %q", b.String())
+	}
+}
+
+func TestKindNamesDistinct(t *testing.T) {
+	kinds := []gtd.EventKind{
+		gtd.EvRCAStart, gtd.EvRCADone, gtd.EvBCAStart, gtd.EvBCADone,
+		gtd.EvBCADelivered, gtd.EvLoopReturn, gtd.EvDFSSent,
+		gtd.EvDFSForwardArrival, gtd.EvTerminated,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		n := KindName(k)
+		if seen[n] {
+			t.Fatalf("duplicate kind name %q", n)
+		}
+		seen[n] = true
+	}
+}

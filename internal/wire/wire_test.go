@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlankZeroValue(t *testing.T) {
+	var m Message
+	if !m.IsBlank() {
+		t.Fatal("zero message must be the blank character")
+	}
+	if got := m.String(); got != "b" {
+		t.Fatalf("blank renders as %q, want \"b\"", got)
+	}
+}
+
+func TestIsBlankPerChannel(t *testing.T) {
+	mk := func(f func(*Message)) Message {
+		var m Message
+		f(&m)
+		return m
+	}
+	cases := []struct {
+		name string
+		m    Message
+	}{
+		{"grow", mk(func(m *Message) { m.SetGrow(GrowChar{Kind: KindIG, Part: Head, Out: 1}) })},
+		{"die", mk(func(m *Message) { m.SetDie(DieChar{Kind: KindID, Part: Tail}) })},
+		{"loop", mk(func(m *Message) { m.SetLoop(LoopToken{Type: LoopBack}) })},
+		{"kill", mk(func(m *Message) { m.Kill = true })},
+		{"dfs", mk(func(m *Message) { m.SetDFS(DFSToken{Out: 1}) })},
+	}
+	for _, c := range cases {
+		if c.m.IsBlank() {
+			t.Errorf("%s: message with a construct reports blank", c.name)
+		}
+	}
+}
+
+func TestSetDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic on duplicate construct", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("grow", func() {
+		var m Message
+		m.SetGrow(GrowChar{Kind: KindIG, Part: Tail})
+		m.SetGrow(GrowChar{Kind: KindIG, Part: Tail})
+	})
+	mustPanic("die", func() {
+		var m Message
+		m.SetDie(DieChar{Kind: KindBD, Part: Tail})
+		m.SetDie(DieChar{Kind: KindBD, Part: Tail})
+	})
+	mustPanic("loop", func() {
+		var m Message
+		m.SetLoop(LoopToken{Type: LoopAck})
+		m.SetLoop(LoopToken{Type: LoopAck})
+	})
+	mustPanic("dfs", func() {
+		var m Message
+		m.SetDFS(DFSToken{Out: 1})
+		m.SetDFS(DFSToken{Out: 2})
+	})
+}
+
+func TestDifferentKindsCoexist(t *testing.T) {
+	var m Message
+	m.SetGrow(GrowChar{Kind: KindIG, Part: Head, Out: 1})
+	m.SetGrow(GrowChar{Kind: KindOG, Part: Body, Out: 2, In: 1})
+	m.SetGrow(GrowChar{Kind: KindBG, Part: Tail})
+	m.SetDie(DieChar{Kind: KindID, Part: Head, Out: 1, In: 1})
+	m.SetDie(DieChar{Kind: KindOD, Part: Tail})
+	m.SetDie(DieChar{Kind: KindBD, Part: Body, Out: 2, In: 2, Flag: true, Payload: PayloadPing})
+	m.SetLoop(LoopToken{Type: LoopForward, Out: 1, In: 2})
+	m.Kill = true
+	m.SetDFS(DFSToken{Out: 2})
+	if err := m.Validate(2); err != nil {
+		t.Fatalf("fully loaded message should validate: %v", err)
+	}
+}
+
+func TestValidatePortBounds(t *testing.T) {
+	var m Message
+	m.SetGrow(GrowChar{Kind: KindIG, Part: Head, Out: 3, In: 1})
+	if err := m.Validate(2); err == nil {
+		t.Fatal("out-port beyond δ must fail validation")
+	}
+	var m2 Message
+	m2.SetGrow(GrowChar{Kind: KindIG, Part: Head, Out: Star, In: 1})
+	if err := m2.Validate(2); err == nil {
+		t.Fatal("unset out-port must fail validation")
+	}
+	var m3 Message
+	m3.SetGrow(GrowChar{Kind: KindIG, Part: Head, Out: 1, In: Star})
+	if err := m3.Validate(2); err != nil {
+		t.Fatalf("star in-port is legal on a fresh character: %v", err)
+	}
+}
+
+func TestValidateFlagOnlyOnBD(t *testing.T) {
+	var m Message
+	m.SetDie(DieChar{Kind: KindID, Part: Body, Out: 1, In: 1, Flag: true})
+	if err := m.Validate(2); err == nil {
+		t.Fatal("flagged non-BD character must fail validation")
+	}
+}
+
+func TestValidatePayloadRange(t *testing.T) {
+	var m Message
+	m.SetDie(DieChar{Kind: KindBD, Part: Body, Out: 1, In: 1, Flag: true, Payload: NumPayloads})
+	if err := m.Validate(2); err == nil {
+		t.Fatal("out-of-range payload must fail validation")
+	}
+}
+
+func TestKindHelpers(t *testing.T) {
+	for i := 0; i < NumGrowKinds; i++ {
+		k := GrowKindAt(i)
+		if !k.IsGrowing() || k.IsDying() {
+			t.Errorf("%v misclassified", k)
+		}
+		if GrowIndex(k) != i {
+			t.Errorf("GrowIndex(GrowKindAt(%d)) = %d", i, GrowIndex(k))
+		}
+	}
+	for i := 0; i < NumDieKinds; i++ {
+		k := DieKindAt(i)
+		if !k.IsDying() || k.IsGrowing() {
+			t.Errorf("%v misclassified", k)
+		}
+		if DieIndex(k) != i {
+			t.Errorf("DieIndex(DieKindAt(%d)) = %d", i, DieIndex(k))
+		}
+	}
+}
+
+func TestKindIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GrowIndex on a dying kind must panic")
+		}
+	}()
+	GrowIndex(KindID)
+}
+
+func TestLoopTokenSpeeds(t *testing.T) {
+	// FORWARD, BACK and ACK travel at speed-1; only UNMARK at speed-3
+	// (§2.1, §4.2.1 steps 4–5).
+	for _, lt := range []LoopType{LoopForward, LoopBack, LoopAck} {
+		if !lt.Speed1() {
+			t.Errorf("%v must be speed-1", lt)
+		}
+	}
+	if LoopUnmark.Speed1() {
+		t.Error("UNMARK must be speed-3")
+	}
+}
+
+func TestAlphabetSizeMonotone(t *testing.T) {
+	prev := 0.0
+	for d := 1; d <= 8; d++ {
+		a := AlphabetSize(d)
+		if a <= prev {
+			t.Fatalf("alphabet size must grow with δ: δ=%d gives %g after %g", d, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestAlphabetSizeDelta1(t *testing.T) {
+	// Hand computation for δ=1: grow channel = 2·1·2+2 = 6; die channel
+	// = 2·1·2·5+2 = 22; loop = 1+4 = 5; kill = 2; dfs = 2.
+	want := 6.0 * 6 * 6 * 22 * 22 * 22 * 5 * 2 * 2
+	if got := AlphabetSize(1); got != want {
+		t.Fatalf("AlphabetSize(1) = %g, want %g", got, want)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	c := GrowChar{Kind: KindIG, Part: Head, Out: 2, In: Star}
+	if got := c.String(); got != "IGH(2,*)" {
+		t.Errorf("grow head renders %q", got)
+	}
+	d := DieChar{Kind: KindBD, Part: Body, Out: 1, In: 2, Flag: true, Payload: PayloadDFSReturn}
+	if got := d.String(); !strings.Contains(got, "!dfs-return") {
+		t.Errorf("flagged char should show its payload: %q", got)
+	}
+	lt := LoopToken{Type: LoopForward, Out: 3, In: 1}
+	if got := lt.String(); got != "FORWARD(3,1)" {
+		t.Errorf("forward token renders %q", got)
+	}
+}
+
+func TestMessageStringProperty(t *testing.T) {
+	// Property: any single-construct message renders non-"b" and IsBlank
+	// is false; the blank invariant is exactly "no constructs".
+	f := func(kind uint8, out, in uint8) bool {
+		var m Message
+		k := GrowKindAt(int(kind) % NumGrowKinds)
+		m.SetGrow(GrowChar{Kind: k, Part: Body, Out: out%4 + 1, In: in % 5})
+		return !m.IsBlank() && m.String() != "b"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

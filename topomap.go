@@ -1,0 +1,192 @@
+// Package topomap is a complete implementation of the system described in
+// Darin Goldstein's "Determination of the Topology of a Directed Network"
+// (IPPS 2002): strongly-connected directed networks of identical,
+// synchronous, finite-state processors with unidirectional constant-bandwidth
+// links, and a protocol by which a distinguished root processor maps the
+// entire unknown topology in O(N·D) global clock ticks using only
+// constant-size messages.
+//
+// The package exposes:
+//
+//   - port-labelled directed network topologies and generators (Graph and
+//     the family constructors),
+//   - Map, which runs the Global Topology Determination protocol on a
+//     simulated network and reconstructs the topology from the root's I/O
+//     transcript alone,
+//   - the paper's auxiliary primitives as standalone operations:
+//     SendBackward (the Backwards Communication Algorithm — deliver a
+//     constant-size message against the direction of an edge) and
+//     SignalRoot (the Root Communication Algorithm — notify the root and
+//     recover the canonical shortest paths between a processor and the
+//     root),
+//   - LowerBound helpers reproducing the paper's Ω(N log N) argument.
+//
+// The simulation substrate, snake/token data structures, protocol automaton
+// and transcript decoder live in internal packages; see DESIGN.md for the
+// architecture and EXPERIMENTS.md for the reproduction of every
+// quantitative claim in the paper.
+package topomap
+
+import (
+	"fmt"
+
+	"topomap/internal/core"
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/wire"
+)
+
+// Graph is a port-labelled directed multigraph: the topology of a network.
+// Nodes are 0-based; ports are 1-based on each side of every node. See the
+// generator functions (Ring, Torus, Kautz, Random, ...) and NewGraph.
+type Graph = graph.Graph
+
+// Edge is one wire of a Graph.
+type Edge = graph.Edge
+
+// Family names a built-in graph family for sweeps and experiments.
+type Family = graph.Family
+
+// Built-in graph families.
+const (
+	FamilyRing      = graph.FamilyRing
+	FamilyBiRing    = graph.FamilyBiRing
+	FamilyLine      = graph.FamilyLine
+	FamilyTorus     = graph.FamilyTorus
+	FamilyKautz     = graph.FamilyKautz
+	FamilyDeBruijn  = graph.FamilyDeBruijn
+	FamilyHypercube = graph.FamilyHypercube
+	FamilyRandom    = graph.FamilyRandom
+	FamilyTreeLoop  = graph.FamilyTreeLoop
+)
+
+// Graph construction and generators, re-exported from the graph engine.
+var (
+	// NewGraph returns an empty graph with n nodes and delta ports per
+	// side, to be wired with Connect.
+	NewGraph = graph.New
+	// Ring is the directed cycle on n nodes.
+	Ring = graph.Ring
+	// BiRing is the bidirectional ring on n ≥ 3 nodes.
+	BiRing = graph.BiRing
+	// Line is the bidirectional path on n nodes.
+	Line = graph.Line
+	// Torus is the directed rows×cols torus.
+	Torus = graph.Torus
+	// Kautz is the Kautz graph K(d, k): degree d, diameter k+1.
+	Kautz = graph.Kautz
+	// DeBruijn is the de Bruijn-like graph on d^k nodes with self-loops
+	// rewired (the model forbids them).
+	DeBruijn = graph.DeBruijn
+	// Hypercube is the d-dimensional hypercube with bidirectional edges.
+	Hypercube = graph.Hypercube
+	// TreeLoop is the Lemma 5.1 counting family: a full binary tree with
+	// bidirectional edges plus a directed loop through a permutation of
+	// the bottom level.
+	TreeLoop = graph.TreeLoop
+	// Random is a random strongly connected graph with degree bound.
+	Random = graph.Random
+	// TwoCycle is the smallest legal network: two mutually linked nodes.
+	TwoCycle = graph.TwoCycle
+	// Build constructs a member of a named family with ≈n nodes.
+	Build = graph.Build
+	// AllFamilies lists the built-in family names.
+	AllFamilies = graph.AllFamilies
+	// RandomPermutation draws a seeded permutation (for TreeLoop).
+	RandomPermutation = graph.RandomPermutation
+	// UnmarshalGraph parses the plain-text graph format.
+	UnmarshalGraph = graph.Unmarshal
+	// UnmarshalGraphString parses the plain-text graph format.
+	UnmarshalGraphString = graph.UnmarshalString
+)
+
+// Payload is the constant-size message alphabet of the Backwards
+// Communication Algorithm.
+type Payload = wire.Payload
+
+// Application payloads for SendBackward.
+const (
+	PayloadPing = wire.PayloadPing
+	PayloadPong = wire.PayloadPong
+)
+
+// Options configures a protocol run.
+type Options struct {
+	// Root is the index of the root processor (default 0).
+	Root int
+	// MaxTicks bounds the run; 0 picks a generous automatic budget.
+	MaxTicks int
+	// Validate enables per-message model validation (constant-size
+	// checks); it is cheap and on by default in tests, off by default
+	// here.
+	Validate bool
+	// Speeds overrides the paper's speed assignment (ablation only);
+	// nil uses the defaults.
+	Speeds *Speeds
+}
+
+// Speeds is the per-hop extra hold of each construct class, in ticks
+// (paper defaults: snakes 2 = speed-1, loop tokens 2, UNMARK 0 = speed-3,
+// KILL 0).
+type Speeds struct {
+	Snake  int
+	Loop   int
+	Unmark int
+	Kill   int
+}
+
+func (o Options) config() gtd.Config {
+	cfg := gtd.DefaultConfig()
+	if o.Speeds != nil {
+		cfg.SnakeDelay = o.Speeds.Snake
+		cfg.LoopDelay = o.Speeds.Loop
+		cfg.UnmarkDelay = o.Speeds.Unmark
+		cfg.KillDelay = o.Speeds.Kill
+	}
+	return cfg
+}
+
+// Result is the outcome of Map.
+type Result struct {
+	// Topology is the reconstructed port-labelled network; node 0 is the
+	// root. It is port-preserving isomorphic to the true topology
+	// anchored at the root (Theorem 4.1).
+	Topology *Graph
+	// Ticks is the number of global clock ticks between initiation and
+	// the root's terminal state (the paper's time-complexity measure).
+	Ticks int
+	// Messages is the number of non-blank symbols delivered.
+	Messages int64
+	// Transactions counts RCA transactions and root-local equivalents.
+	Transactions int
+}
+
+// Map runs the Global Topology Determination protocol (§3 of the paper) on
+// a simulated network with the given topology and returns the topology as
+// reconstructed by the root's master computer from the root transcript
+// alone. The input graph must validate (strongly connected, degree-bounded,
+// no self-loops, every node with a wired in- and out-port).
+func Map(g *Graph, opts Options) (*Result, error) {
+	cfg := opts.config()
+	res, err := core.Run(g, core.Options{
+		Root:     opts.Root,
+		MaxTicks: opts.MaxTicks,
+		Validate: opts.Validate,
+		Config:   &cfg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("topomap: %w", err)
+	}
+	return &Result{
+		Topology:     res.Topology,
+		Ticks:        res.Stats.Ticks,
+		Messages:     res.Stats.NonBlankMessages,
+		Transactions: res.Transactions,
+	}, nil
+}
+
+// Verify reports whether mapped is port-preserving isomorphic to the truth
+// g anchored at root (mapped's root is node 0).
+func Verify(g *Graph, root int, mapped *Graph) bool {
+	return g.IsomorphicFrom(root, mapped, 0)
+}

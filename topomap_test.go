@@ -1,0 +1,64 @@
+package topomap_test
+
+import (
+	"testing"
+
+	"topomap"
+)
+
+func TestMapQuick(t *testing.T) {
+	g := topomap.Torus(3, 4)
+	res, err := topomap.Map(g, topomap.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topomap.Verify(g, 0, res.Topology) {
+		t.Fatal("mapped topology differs from the truth")
+	}
+	if res.Ticks <= 0 || res.Transactions <= 0 {
+		t.Fatalf("implausible stats: %+v", res)
+	}
+}
+
+func TestSendBackwardQuick(t *testing.T) {
+	g := topomap.Ring(6)
+	// Node 3's in-port 1 is fed by node 2: send ping backwards 3→2.
+	res, err := topomap.SendBackward(g, 3, 1, topomap.PayloadPing, topomap.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != 2 {
+		t.Fatalf("payload delivered to %d, want 2", res.Target)
+	}
+}
+
+func TestSignalRootQuick(t *testing.T) {
+	g := topomap.Torus(3, 3)
+	res, err := topomap.SignalRoot(g, 4, true, 1, 1, topomap.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Forward {
+		t.Fatal("expected a FORWARD token at the root")
+	}
+	// The reported paths must match the analytically computed canonical
+	// shortest paths.
+	toRoot := topomap.CanonicalPath(g, 4, 0)
+	if len(res.PathToRoot) != len(toRoot) {
+		t.Fatalf("path to root has %d hops, want %d", len(res.PathToRoot), len(toRoot))
+	}
+	for i, e := range toRoot {
+		if int(res.PathToRoot[i].Out) != e.OutPort || int(res.PathToRoot[i].In) != e.InPort {
+			t.Fatalf("hop %d: got %v, want %v", i, res.PathToRoot[i], e)
+		}
+	}
+	fromRoot := topomap.CanonicalPath(g, 0, 4)
+	if len(res.PathFromRoot) != len(fromRoot) {
+		t.Fatalf("path from root has %d hops, want %d", len(res.PathFromRoot), len(fromRoot))
+	}
+	for i, e := range fromRoot {
+		if int(res.PathFromRoot[i].Out) != e.OutPort || int(res.PathFromRoot[i].In) != e.InPort {
+			t.Fatalf("hop %d: got %v, want %v", i, res.PathFromRoot[i], e)
+		}
+	}
+}
