@@ -43,6 +43,31 @@ func TestMapAllFamilies(t *testing.T) {
 	}
 }
 
+// TestMapWorkersDeterminism is the public face of the engine's determinism
+// guarantee: Map with any Workers value returns the identical
+// reconstruction, tick count, message count, and transaction count.
+func TestMapWorkersDeterminism(t *testing.T) {
+	g := topomap.Torus(5, 6)
+	base, err := topomap.Map(g, topomap.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		res, err := topomap.Map(g, topomap.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Ticks != base.Ticks || res.Messages != base.Messages || res.Transactions != base.Transactions {
+			t.Fatalf("workers=%d diverged: (%d,%d,%d) vs sequential (%d,%d,%d)",
+				workers, res.Ticks, res.Messages, res.Transactions,
+				base.Ticks, base.Messages, base.Transactions)
+		}
+		if !res.Topology.Equal(base.Topology) {
+			t.Fatalf("workers=%d reconstructed a different topology", workers)
+		}
+	}
+}
+
 func TestMapCustomSpeedsStillExact(t *testing.T) {
 	// Slowing UNMARK to speed-1 is a conservative change (more cleanup
 	// slack); the protocol must still map exactly.

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	topobench [-full] [experiment ids...]
+//	topobench [-full] [-workers n] [experiment ids...]
 //	topobench -list
 //
-// With no ids, every experiment runs in order.
+// With no ids, every experiment runs in order. -workers caps the engine
+// worker count (0 = GOMAXPROCS): measurements are identical at any value —
+// the engine is deterministic in the worker count — but E9/E10 sweep up to
+// the cap and everything else simply runs faster with more cores.
 package main
 
 import (
@@ -24,8 +27,9 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full-size experiment sweeps (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: topobench [-full] [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "usage: topobench [-full] [-workers n] [experiment ids...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), " "))
 		flag.PrintDefaults()
 	}
@@ -42,6 +46,7 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
+	experiments.Workers = *workers
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full

@@ -36,6 +36,7 @@ func main() {
 		stats   = flag.Bool("stats", false, "print run statistics")
 		edges   = flag.Bool("edges", false, "print the mapped edge list")
 		maxTick = flag.Int("maxticks", 0, "tick budget (0 = automatic)")
+		workers = flag.Int("workers", 0, "engine workers per tick (0 = GOMAXPROCS, 1 = sequential; -trace forces 1)")
 	)
 	flag.Parse()
 
@@ -55,10 +56,17 @@ func main() {
 	if *showTr {
 		tr = trace.New(func() int { return eng.Tick() }, 0)
 		cfg.Hooks = tr.Hook
+		// Parallel workers may reorder same-tick events in the timeline;
+		// a trace should replay identically run to run.
+		if *workers != 1 {
+			fmt.Fprintln(os.Stderr, "topomap: -trace forces -workers 1 for a replayable timeline")
+			*workers = 1
+		}
 	}
 	eng = sim.New(g, sim.Options{
 		Root:       *root,
 		MaxTicks:   *maxTick,
+		Workers:    *workers,
 		Transcript: m.Process,
 	}, gtd.NewFactory(cfg))
 	st, err := eng.Run()

@@ -1,0 +1,3 @@
+module topomap
+
+go 1.24

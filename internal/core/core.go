@@ -31,6 +31,9 @@ type Options struct {
 	Root     int
 	MaxTicks int
 	Validate bool
+	// Workers is the engine's per-tick worker count (0 = GOMAXPROCS,
+	// 1 = sequential); any value yields the identical transcript.
+	Workers int
 	// Config overrides the paper's speed assignment; nil uses defaults.
 	Config *gtd.Config
 	// Observers are attached to the engine (instrumentation).
@@ -67,6 +70,7 @@ func Run(g *graph.Graph, opts Options) (*RunResult, error) {
 		Root:       opts.Root,
 		MaxTicks:   opts.MaxTicks,
 		Validate:   opts.Validate,
+		Workers:    opts.Workers,
 		Transcript: m.Process,
 		Observers:  opts.Observers,
 	}, gtd.NewFactory(cfg))

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -15,6 +16,35 @@ import (
 	"topomap/internal/mapper"
 	"topomap/internal/sim"
 )
+
+// Workers caps the engine worker count the harness runs with; 0 (the
+// default) means runtime.GOMAXPROCS(0). cmd/topobench -workers sets it.
+// Because the engine is deterministic in the worker count, it changes wall
+// times only, never a measured table value (except the E9/E10 sweeps,
+// which report per-worker-count rows up to this cap).
+var Workers int
+
+// maxWorkers resolves the harness worker cap.
+func maxWorkers() int {
+	if Workers > 0 {
+		return Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// workerSweep returns the worker counts the E9/E10 sweeps measure: 1, then
+// doublings, then the cap itself.
+func workerSweep() []int {
+	max := maxWorkers()
+	out := []int{1}
+	for w := 2; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	if max > 1 {
+		out = append(out, max)
+	}
+	return out
+}
 
 // Table is one experiment's result, renderable as text.
 type Table struct {
@@ -127,14 +157,19 @@ type runResult struct {
 	trans    int
 }
 
-// runGTD executes the protocol with the mapper attached.
+// runGTD executes the protocol with the mapper attached, on the harness's
+// full worker cap (results are worker-count-invariant) with the engine's
+// default adaptive dispatch.
 func runGTD(g *graph.Graph, root int, cfg gtd.Config, hooks gtd.Hooks, obs []sim.Observer) (*runResult, error) {
-	return runGTDBudget(g, root, cfg, hooks, obs, 64_000_000)
+	return runGTDBudget(g, root, cfg, hooks, obs, 64_000_000, maxWorkers(), 0)
 }
 
 // runGTDBudget is runGTD with an explicit tick budget (the speed ablation
-// runs deliberately broken configurations that may never terminate).
-func runGTDBudget(g *graph.Graph, root int, cfg gtd.Config, hooks gtd.Hooks, obs []sim.Observer, budget int) (*runResult, error) {
+// runs deliberately broken configurations that may never terminate), an
+// explicit engine worker count, and an explicit parallel-dispatch
+// threshold (the E10 sweep forces 1 so its workers=GOMAXPROCS rows really
+// exercise the parallel scheduler on its small graphs).
+func runGTDBudget(g *graph.Graph, root int, cfg gtd.Config, hooks gtd.Hooks, obs []sim.Observer, budget, workers, parThreshold int) (*runResult, error) {
 	m := mapper.New(g.Delta())
 	if hooks != nil {
 		prev := cfg.Hooks
@@ -146,10 +181,12 @@ func runGTDBudget(g *graph.Graph, root int, cfg gtd.Config, hooks gtd.Hooks, obs
 		}
 	}
 	eng := sim.New(g, sim.Options{
-		Root:       root,
-		MaxTicks:   budget,
-		Transcript: m.Process,
-		Observers:  obs,
+		Root:              root,
+		MaxTicks:          budget,
+		Workers:           workers,
+		ParallelThreshold: parThreshold,
+		Transcript:        m.Process,
+		Observers:         obs,
 	}, gtd.NewFactory(cfg))
 	stats, err := eng.Run()
 	if err != nil {

@@ -101,12 +101,31 @@ func checkInvariants(t *testing.T, id string, table *Table) {
 		}
 	case "e10":
 		// The paper-default variant must be fully exact with no
-		// failures.
+		// failures, at every worker count it was swept over — and every
+		// variant's outcome must be identical across worker counts
+		// (engine determinism).
+		r, x, f, w := col(table, "runs"), col(table, "exact"), col(table, "failures"), col(table, "workers")
+		byVariant := map[string]string{}
 		for _, row := range table.Rows {
 			if strings.HasPrefix(row[0], "paper defaults") {
-				if row[1] != row[2] || row[3] != "0" {
+				if row[r] != row[x] || row[f] != "0" {
 					t.Errorf("E10 default variant not clean: %v", row)
 				}
+			}
+			// Every column except the worker count itself must be
+			// identical across worker counts (engine determinism),
+			// including violations and slack.
+			outcome := make([]string, 0, len(row))
+			for i, cell := range row {
+				if i != w {
+					outcome = append(outcome, cell)
+				}
+			}
+			key := strings.Join(outcome, "|")
+			if prev, ok := byVariant[row[0]]; !ok {
+				byVariant[row[0]] = key
+			} else if prev != key {
+				t.Errorf("E10 %s outcome differs across worker counts: %q vs %q", row[0], prev, key)
 			}
 		}
 	case "e12":

@@ -117,6 +117,7 @@ func standaloneRCA(g *graph.Graph, root, from int) (int, error) {
 	eng := sim.New(g, sim.Options{
 		Root:              root,
 		MaxTicks:          16_000_000,
+		Workers:           maxWorkers(),
 		StopWhenQuiescent: true,
 	}, gtd.NewFactory(cfg))
 	err := eng.Automaton(from).(*gtd.Processor).StartRCA(wire.LoopToken{Type: wire.LoopForward, Out: 1, In: 1})
@@ -183,6 +184,7 @@ func standaloneBCA(g *graph.Graph, from, inPort int) (int, error) {
 	eng := sim.New(g, sim.Options{
 		Root:              0,
 		MaxTicks:          16_000_000,
+		Workers:           maxWorkers(),
 		StopWhenQuiescent: true,
 	}, gtd.NewFactory(cfg))
 	if err := eng.Automaton(from).(*gtd.Processor).StartBCA(inPort, wire.PayloadPing); err != nil {

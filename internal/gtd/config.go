@@ -87,6 +87,14 @@ const (
 // Hooks is the instrumentation callback: node is the engine index of the
 // processor, payload is event-specific (loop token type for EvLoopReturn,
 // BCA payload for EvBCADelivered, 0 otherwise).
+//
+// Hooks fire from inside processor steps. When the engine runs a pulse in
+// parallel (sim.Options.Workers), NewFactory serialises the callback — it
+// is never invoked concurrently — but events of processors stepped by
+// different workers may arrive in either order within one tick. Callbacks
+// must therefore not depend on intra-tick ordering (counters, per-node
+// flags, and tick-stamped traces are all fine; the engine's transcript and
+// statistics are unaffected either way).
 type Hooks func(node int, kind EventKind, payload int)
 
 func (c *Config) hook(node int, kind EventKind, payload int) {

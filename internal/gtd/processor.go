@@ -1,6 +1,8 @@
 package gtd
 
 import (
+	"sync"
+
 	"topomap/internal/sim"
 	"topomap/internal/snake"
 	"topomap/internal/wire"
@@ -209,8 +211,22 @@ func New(cfg *Config, info sim.NodeInfo) *Processor {
 	return p
 }
 
-// NewFactory adapts New to the engine's factory signature.
+// NewFactory adapts New to the engine's factory signature. If cfg carries
+// hooks, every processor built by this factory shares one mutex around the
+// callback: the engine may step processors of one pulse concurrently, and
+// serialising here keeps every hook consumer (experiment meters, traces,
+// tests) race-free without each one locking — see the Hooks doc for the
+// intra-tick ordering caveat this leaves.
 func NewFactory(cfg Config) func(sim.NodeInfo) sim.Automaton {
+	if cfg.Hooks != nil {
+		var mu sync.Mutex
+		inner := cfg.Hooks
+		cfg.Hooks = func(node int, kind EventKind, payload int) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(node, kind, payload)
+		}
+	}
 	return func(info sim.NodeInfo) sim.Automaton {
 		c := cfg
 		return New(&c, info)

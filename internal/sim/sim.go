@@ -8,11 +8,29 @@
 // the same transcript every run. An activity tracker skips processors that
 // are idle and received only blanks; a naive mode steps every processor every
 // tick, and the two are tested to produce identical transcripts.
+//
+// # Parallel execution
+//
+// A pulse of the paper's model is embarrassingly parallel by construction:
+// within one tick every processor reads only the symbols delivered at tick t
+// and writes only symbols to be delivered at tick t+1. The engine exploits
+// this with a sharded tick: the node set is split into contiguous shards,
+// one worker goroutine steps each shard, and wire state is double-buffered
+// so all reads see tick t while all writes target tick t+1. Because every
+// in-port has exactly one incoming wire, no two processors ever write the
+// same buffer element; the only shared write (the per-node "symbol pending"
+// flag) is an idempotent atomic store. Per-shard statistics are merged in
+// shard-index order after the barrier, so the transcript, the statistics,
+// and every observable of a run are bit-identical to the sequential engine
+// regardless of Options.Workers. The equivalence is enforced by tests across
+// graph families, seeds, and worker counts.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"topomap/internal/graph"
 	"topomap/internal/wire"
@@ -37,6 +55,13 @@ type Automaton interface {
 	// the symbol read from in-port p (the blank message for quiescent or
 	// unwired ports); the processor writes its outputs into out[p-1],
 	// which the engine provides zeroed. Step must be deterministic.
+	//
+	// When Options.Workers enables the parallel tick, Step may be
+	// invoked concurrently for *different* processors of the same pulse
+	// (never twice for the same processor). Each automaton may freely
+	// mutate its own state; any state shared across automata — such as
+	// instrumentation callbacks reached from Step — must be synchronised
+	// by whoever shares it (gtd.NewFactory serialises protocol hooks).
 	Step(in []wire.Message, out []wire.Message)
 	// Busy reports whether the processor may change state or emit a
 	// non-blank symbol even if every in-port reads blank. A processor
@@ -97,6 +122,18 @@ type Options struct {
 	// symbols) even if the root has no terminal state. Used by
 	// standalone-primitive demos and tests.
 	StopWhenQuiescent bool
+	// Workers is the number of goroutines that step processors within a
+	// tick. 0 (the default) uses runtime.GOMAXPROCS(0); 1 selects the
+	// sequential path. Any value yields bit-identical transcripts and
+	// statistics; ticks with too few active processors to amortise the
+	// fan-out run sequentially regardless.
+	Workers int
+	// ParallelThreshold overrides the minimum predicted per-tick work
+	// (processors with a pending symbol, or stepped on the previous
+	// tick) required to fan a pulse out across the workers (default
+	// max(4·Workers, 16)). Equivalence tests and the E9/E10 sweeps set
+	// it to 1 to force the parallel path; 0 keeps the default.
+	ParallelThreshold int
 }
 
 // Stats summarises a run.
@@ -120,12 +157,45 @@ type Engine struct {
 	in      [][]wire.Message // current tick inputs, [node][in-port]
 	nextIn  [][]wire.Message
 	outBuf  [][]wire.Message
-	hasIn   []bool // node received a non-blank symbol this tick
-	nextHas []bool
+	hasIn   []uint32 // node received a non-blank symbol this tick
+	nextHas []uint32 // written concurrently by workers (atomic, idempotent)
+
+	// Root transcript capture for the tick in flight; only the worker
+	// owning the root's shard writes these.
+	rootIn  []wire.Message
+	rootOut []wire.Message
+
+	workers  int     // resolved worker count (≥ 1)
+	parMin   int     // minimum per-tick work to dispatch in parallel
+	lastLive int     // nodes entering the current tick with a pending symbol
+	lastWork int     // processors stepped during the previous tick
+	shards   []shard // one per worker; shards[0] runs on the caller
+
+	// Persistent worker pool, started lazily at the first parallel tick
+	// and stopped when the run finishes (or via Close). Each worker owns
+	// one start channel; completions funnel through the shared done
+	// channel, whose receives order every worker write before the merge.
+	poolUp  bool
+	startCh []chan struct{}
+	doneCh  chan struct{}
 
 	tick  int
 	stats Stats
 	done  bool
+}
+
+// shard is one worker's slice of the node set plus its private tick tally;
+// tallies are merged into Stats in shard-index order after the barrier, so
+// the totals do not depend on goroutine scheduling. The fields occupy 56
+// bytes on 64-bit targets; the padding rounds the struct to 128 bytes (two
+// cache lines) so adjacent shards' hot counters never share a line.
+type shard struct {
+	lo, hi    int
+	stepCalls int64
+	nonBlank  int64
+	anyActive bool
+	panicked  any
+	_         [72]byte
 }
 
 // Errors returned by Run.
@@ -153,8 +223,34 @@ func New(g *graph.Graph, opts Options, factory func(NodeInfo) Automaton) *Engine
 	e.in = make([][]wire.Message, n)
 	e.nextIn = make([][]wire.Message, n)
 	e.outBuf = make([][]wire.Message, n)
-	e.hasIn = make([]bool, n)
-	e.nextHas = make([]bool, n)
+	e.hasIn = make([]uint32, n)
+	e.nextHas = make([]uint32, n)
+	e.workers = opts.Workers
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.workers > n {
+		e.workers = n
+	}
+	if e.workers > 1 {
+		e.parMin = 4 * e.workers
+		if e.parMin < 16 {
+			e.parMin = 16
+		}
+		if opts.ParallelThreshold > 0 {
+			e.parMin = opts.ParallelThreshold
+		}
+		e.shards = make([]shard, e.workers)
+		per := (n + e.workers - 1) / e.workers
+		for w := range e.shards {
+			lo := w * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			e.shards[w] = shard{lo: lo, hi: hi}
+		}
+	}
 	for v := 0; v < n; v++ {
 		info := NodeInfo{
 			Index:    v,
@@ -208,37 +304,32 @@ func (e *Engine) rootTerminated() bool {
 	return ok && t.Terminated()
 }
 
-// RunOne executes a single tick. It returns false when the run has finished
-// (root terminal or quiescent-with-permission); callers normally use Run.
-func (e *Engine) RunOne() (bool, error) {
-	if e.done {
-		return false, nil
-	}
-	if e.rootTerminated() {
-		e.done = true
-		return false, nil
-	}
-	if e.tick >= e.opts.MaxTicks {
-		return false, fmt.Errorf("%w (tick %d)", ErrMaxTicks, e.tick)
-	}
-
-	n := e.g.N()
+// stepRange steps every active node in [lo, hi): the per-pulse body of the
+// paper's model. All reads come from the tick-t buffers (e.in, e.hasIn) and
+// all wire writes target the tick-t+1 buffers (e.nextIn, e.nextHas), so
+// ranges are independent and may run concurrently. par selects atomic
+// stores for the one cross-range write (the destination's pending flag,
+// which is idempotent: every writer stores 1). Step tallies accumulate in
+// sh; the caller merges them deterministically. Returns whether any node in
+// the range was genuinely active (had input or was busy, as opposed to
+// stepped only because of Naive mode).
+func (e *Engine) stepRange(lo, hi int, sh *shard, par bool) bool {
 	delta := e.g.Delta()
-	anyActive := false
 	rootIdx := e.opts.Root
-
-	var rootIn, rootOut []wire.Message
-
-	for v := 0; v < n; v++ {
-		active := e.hasIn[v] || e.procs[v].Busy() || e.opts.Naive
-		if !active {
+	anyActive := false
+	for v := lo; v < hi; v++ {
+		hasIn := e.hasIn[v] != 0
+		busy := e.procs[v].Busy()
+		if !(hasIn || busy || e.opts.Naive) {
 			continue
 		}
-		anyActive = anyActive || e.hasIn[v] || e.procs[v].Busy()
+		if hasIn || busy {
+			anyActive = true
+		}
 		in := e.in[v]
 		out := e.outBuf[v]
 		e.procs[v].Step(in, out)
-		e.stats.StepCalls++
+		sh.stepCalls++
 		nonBlankOut := false
 		for p := 0; p < delta; p++ {
 			if out[p].IsBlank() {
@@ -255,54 +346,208 @@ func (e *Engine) RunOne() (bool, error) {
 				panic(fmt.Sprintf("sim: node %d tick %d wrote to unwired out-port %d", v, e.tick, p+1))
 			}
 			e.nextIn[dst.Node][dst.Port] = out[p]
-			e.nextHas[dst.Node] = true
-			e.stats.NonBlankMessages++
+			if par {
+				atomic.StoreUint32(&e.nextHas[dst.Node], 1)
+			} else {
+				e.nextHas[dst.Node] = 1
+			}
+			sh.nonBlank++
 		}
 		if v == rootIdx && e.opts.Transcript != nil {
-			rootStepped := false
-			for p := 0; p < delta; p++ {
-				if !in[p].IsBlank() {
-					rootStepped = true
-					break
-				}
-			}
-			if rootStepped || nonBlankOut {
-				rootIn = append([]wire.Message(nil), in...)
-				rootOut = append([]wire.Message(nil), out...)
+			// hasIn holds exactly when some in-port carries a
+			// non-blank symbol this tick.
+			if hasIn || nonBlankOut {
+				e.rootIn = append([]wire.Message(nil), in...)
+				e.rootOut = append([]wire.Message(nil), out...)
 			}
 		}
-		// Reset the out buffer for the next use.
+		// Clear the consumed inputs and reset the out buffer; both are
+		// private to this node.
+		if hasIn {
+			for p := 0; p < delta; p++ {
+				in[p] = wire.Message{}
+			}
+		}
 		if nonBlankOut {
 			for p := 0; p < delta; p++ {
 				out[p] = wire.Message{}
 			}
 		}
 	}
+	return anyActive
+}
 
-	if rootIn != nil {
-		e.opts.Transcript(TranscriptEntry{Tick: e.tick, In: rootIn, Out: rootOut})
+// stepSequential runs the whole pulse on the calling goroutine.
+func (e *Engine) stepSequential() bool {
+	var sh shard
+	anyActive := e.stepRange(0, e.g.N(), &sh, false)
+	e.stats.StepCalls += sh.stepCalls
+	e.stats.NonBlankMessages += sh.nonBlank
+	return anyActive
+}
+
+// runShard executes one shard's slice of the pulse, converting a panic
+// (e.g. a model-validation failure) into a recorded value so the barrier
+// always completes; the merge re-raises it deterministically.
+func (e *Engine) runShard(sh *shard) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicked = r
+		}
+	}()
+	sh.anyActive = e.stepRange(sh.lo, sh.hi, sh, true)
+}
+
+// startPool launches the persistent workers for shards 1..W-1 (shard 0
+// always runs on the calling goroutine). Workers park on their start
+// channel between pulses, so a tick costs two channel hops per worker
+// rather than a goroutine spawn.
+func (e *Engine) startPool() {
+	e.doneCh = make(chan struct{})
+	e.startCh = make([]chan struct{}, len(e.shards)-1)
+	for i := range e.startCh {
+		ch := make(chan struct{}, 1)
+		e.startCh[i] = ch
+		sh := &e.shards[i+1]
+		go func() {
+			for range ch {
+				e.runShard(sh)
+				e.doneCh <- struct{}{}
+			}
+		}()
+	}
+	e.poolUp = true
+}
+
+// stopPool releases the worker goroutines. Idempotent; the engine restarts
+// the pool lazily if another parallel tick follows.
+func (e *Engine) stopPool() {
+	if !e.poolUp {
+		return
+	}
+	for _, ch := range e.startCh {
+		close(ch)
+	}
+	e.startCh, e.doneCh, e.poolUp = nil, nil, false
+}
+
+// Close releases the engine's worker goroutines early. It is only needed
+// when a caller abandons an engine mid-run (the pool is released
+// automatically when a run completes, errors, or panics); the engine
+// remains usable afterwards.
+func (e *Engine) Close() { e.stopPool() }
+
+// stepParallel fans the pulse out across the shard workers. Shard 0 runs on
+// the calling goroutine; the barrier orders every worker write before the
+// merge, which folds tallies in shard-index order and re-raises the
+// lowest-indexed worker panic so that failures are deterministic too.
+func (e *Engine) stepParallel() bool {
+	if !e.poolUp {
+		e.startPool()
+	}
+	for w := range e.shards {
+		sh := &e.shards[w]
+		sh.stepCalls, sh.nonBlank, sh.anyActive, sh.panicked = 0, 0, false, nil
+	}
+	for _, ch := range e.startCh {
+		ch <- struct{}{}
+	}
+	e.runShard(&e.shards[0])
+	for range e.startCh {
+		<-e.doneCh
+	}
+	anyActive := false
+	for w := range e.shards {
+		sh := &e.shards[w]
+		if sh.panicked != nil {
+			// RunOne's panic guard releases the pool on the way out.
+			panic(sh.panicked)
+		}
+		e.stats.StepCalls += sh.stepCalls
+		e.stats.NonBlankMessages += sh.nonBlank
+		anyActive = anyActive || sh.anyActive
+	}
+	return anyActive
+}
+
+// parallelTick reports whether the coming pulse has enough work to amortise
+// the worker fan-out, predicted from deterministic engine state: the
+// processors known to hold a pending symbol plus the stepped-set size of
+// the previous tick (which also counts busy-without-input processors, e.g.
+// relays holding a speed-1 character). Both paths produce identical state,
+// so mixing them within a run preserves the determinism guarantee.
+func (e *Engine) parallelTick() bool {
+	if e.workers <= 1 {
+		return false
+	}
+	work := e.lastLive
+	if e.lastWork > work {
+		work = e.lastWork
+	}
+	if e.opts.Naive {
+		work = e.g.N()
+	}
+	return work >= e.parMin
+}
+
+// RunOne executes a single tick. It returns false when the run has finished
+// (root terminal or quiescent-with-permission); callers normally use Run.
+func (e *Engine) RunOne() (bool, error) {
+	if e.done {
+		return false, nil
+	}
+	if e.rootTerminated() {
+		e.done = true
+		e.stopPool()
+		return false, nil
+	}
+	if e.tick >= e.opts.MaxTicks {
+		e.stopPool()
+		return false, fmt.Errorf("%w (tick %d)", ErrMaxTicks, e.tick)
+	}
+	if e.workers > 1 {
+		// Any panic escaping the tick — a worker panic re-raised by the
+		// merge, a sequential-tick validation failure, or a Transcript/
+		// Observer callback — must release the parked pool on the way
+		// out: harnesses recover engine panics and abandon the engine.
+		defer func() {
+			if r := recover(); r != nil {
+				e.stopPool()
+				panic(r)
+			}
+		}()
 	}
 
-	// Clear the consumed inputs and swap buffers.
+	e.rootIn, e.rootOut = nil, nil
+	stepsBefore := e.stats.StepCalls
+	var anyActive bool
+	if e.parallelTick() {
+		anyActive = e.stepParallel()
+	} else {
+		anyActive = e.stepSequential()
+	}
+	e.lastWork = int(e.stats.StepCalls - stepsBefore)
+
+	if e.rootIn != nil {
+		e.opts.Transcript(TranscriptEntry{Tick: e.tick, In: e.rootIn, Out: e.rootOut})
+	}
+
+	// Count next tick's live set and swap buffers. Inputs consumed this
+	// tick were already cleared node-locally in stepRange.
 	activeCount := 0
-	for v := 0; v < n; v++ {
-		if e.hasIn[v] {
-			ins := e.in[v]
-			for p := range ins {
-				ins[p] = wire.Message{}
-			}
-		}
-		if e.nextHas[v] {
+	for v := range e.nextHas {
+		if e.nextHas[v] != 0 {
 			activeCount++
 		}
 	}
 	if activeCount > e.stats.MaxActive {
 		e.stats.MaxActive = activeCount
 	}
+	e.lastLive = activeCount
 	e.in, e.nextIn = e.nextIn, e.in
 	e.hasIn, e.nextHas = e.nextHas, e.hasIn
 	for v := range e.nextHas {
-		e.nextHas[v] = false
+		e.nextHas[v] = 0
 	}
 
 	e.tick++
@@ -313,6 +558,7 @@ func (e *Engine) RunOne() (bool, error) {
 
 	if !anyActive && !e.anyPending() {
 		e.done = true
+		e.stopPool()
 		if e.opts.StopWhenQuiescent || e.rootTerminated() {
 			return false, nil
 		}
@@ -324,7 +570,7 @@ func (e *Engine) RunOne() (bool, error) {
 // anyPending reports whether any symbol is in flight or any processor busy.
 func (e *Engine) anyPending() bool {
 	for v := range e.hasIn {
-		if e.hasIn[v] || e.procs[v].Busy() {
+		if e.hasIn[v] != 0 || e.procs[v].Busy() {
 			return true
 		}
 	}
