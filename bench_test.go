@@ -1,6 +1,7 @@
 package topomap_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,6 +42,67 @@ func BenchmarkE9EngineThroughput(b *testing.B) { benchExperiment(b, "e9") }
 func BenchmarkE10SpeedAblation(b *testing.B)   { benchExperiment(b, "e10") }
 func BenchmarkE11Families(b *testing.B)        { benchExperiment(b, "e11") }
 func BenchmarkE12Pigeonhole(b *testing.B)      { benchExperiment(b, "e12") }
+func BenchmarkE13Batch(b *testing.B)           { benchExperiment(b, "e13") }
+
+// Session-reuse benchmarks: the fresh/reused pair quantifies the session
+// refactor's allocation claim (run with -benchmem; the reused steady state
+// must allocate ≥10× less than fresh Map on the 64-node ring — it is a
+// handful of allocations, all in the returned Result and reconstruction).
+
+func BenchmarkMapFreshRing64(b *testing.B) {
+	g := topomap.Ring(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topomap.Map(g, topomap.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapSessionRing64(b *testing.B) {
+	g := topomap.Ring(64)
+	s := topomap.NewSession(topomap.Options{Workers: 1})
+	defer s.Close()
+	if _, err := s.Map(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Map(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapBatchTorus measures batch throughput per pool size on one
+// op = a 16-graph corpus.
+func BenchmarkMapBatchTorus(b *testing.B) {
+	for _, sessions := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("sessions%d", sessions), func(b *testing.B) {
+			graphs := make([]*topomap.Graph, 16)
+			for i := range graphs {
+				graphs[i] = topomap.Torus(4, 5)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				items, err := topomap.MapBatch(context.Background(), graphs,
+					topomap.BatchOptions{Options: topomap.Options{Workers: 1}, Sessions: sessions})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, it := range items {
+					if it.Err != nil {
+						b.Fatal(it.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(graphs)), "graphs/op")
+		})
+	}
+}
 
 // Micro-benchmarks of the public API across families and sizes: the cost of
 // one complete GTD run, with ticks and ticks/(N·D) reported.

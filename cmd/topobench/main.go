@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	topobench [-full] [-workers n] [experiment ids...]
+//	topobench [-full] [-workers n] [-sessions n] [experiment ids...]
 //	topobench -list
 //
 // With no ids, every experiment runs in order. -workers caps the engine
 // worker count (0 = GOMAXPROCS): measurements are identical at any value —
 // the engine is deterministic in the worker count — but E9/E10 sweep up to
 // the cap and everything else simply runs faster with more cores.
+// -sessions caps the session-pool sweep of the E13 batch-throughput
+// experiment (0 sweeps pool sizes 1/2/4/8); results are likewise identical
+// at any pool size.
 package main
 
 import (
@@ -28,8 +31,9 @@ func main() {
 	full := flag.Bool("full", false, "run the full-size experiment sweeps (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS, 1 = sequential)")
+	sessions := flag.Int("sessions", 0, "session-pool cap for the E13 batch sweep (0 = sweep 1/2/4/8)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: topobench [-full] [-workers n] [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "usage: topobench [-full] [-workers n] [-sessions n] [experiment ids...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), " "))
 		flag.PrintDefaults()
 	}
@@ -47,6 +51,7 @@ func main() {
 		ids = experiments.IDs()
 	}
 	experiments.Workers = *workers
+	experiments.Sessions = *sessions
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"topomap/internal/graph"
@@ -42,15 +43,33 @@ type Options struct {
 	Hooks gtd.Hooks
 }
 
-// Run maps g from the given root and returns the reconstruction with run
-// statistics. The input must be a valid network of the model.
-func Run(g *graph.Graph, opts Options) (*RunResult, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.Root < 0 || opts.Root >= g.N() {
-		return nil, fmt.Errorf("core: root %d out of range [0,%d)", opts.Root, g.N())
-	}
+// Session is a reusable protocol-run context: one engine, one automata set,
+// and one mapper that are reset in place between runs instead of being
+// reallocated. A session maps one graph at a time (it is not safe for
+// concurrent use — run one session per goroutine); across sequential runs
+// the steady state allocates almost nothing, and the engine's parallel
+// worker pool stays parked between runs. A reused session is observationally
+// identical to a fresh engine: transcripts, reconstructions, statistics, and
+// failures are bit-for-bit the same (tested across families, seeds, and
+// worker counts).
+//
+// The options — including the protocol configuration and hooks — are fixed
+// at creation; only the graph (and, via RunRooted, the root) varies per run.
+// Close releases the engine's worker pool; it is idempotent, and a closed
+// session may keep running (the pool restarts lazily).
+type Session struct {
+	opts    Options
+	factory func(sim.NodeInfo) sim.Automaton
+	m       *mapper.Mapper
+	eng     *sim.Engine
+	// ctx is the cancellation context of the run in flight; the engine's
+	// Cancel callback reads it. Nil means not cancellable.
+	ctx context.Context
+}
+
+// NewSession prepares a reusable run context with the given options. No
+// resources are acquired until the first run.
+func NewSession(opts Options) *Session {
 	cfg := gtd.DefaultConfig()
 	if opts.Config != nil {
 		cfg = *opts.Config
@@ -65,24 +84,88 @@ func Run(g *graph.Graph, opts Options) (*RunResult, error) {
 			hooks(node, kind, payload)
 		}
 	}
-	m := mapper.New(g.Delta())
-	eng := sim.New(g, sim.Options{
-		Root:       opts.Root,
-		MaxTicks:   opts.MaxTicks,
-		Validate:   opts.Validate,
-		Workers:    opts.Workers,
-		Transcript: m.Process,
-		Observers:  opts.Observers,
-	}, gtd.NewFactory(cfg))
-	stats, err := eng.Run()
+	return &Session{opts: opts, factory: gtd.NewFactory(cfg)}
+}
+
+// Run maps g from the session's configured root.
+func (s *Session) Run(g *graph.Graph) (*RunResult, error) {
+	return s.run(nil, g, s.opts.Root)
+}
+
+// RunContext is Run with cancellation: the engine polls ctx between ticks
+// and aborts the run with ctx's error once it is done. The session remains
+// reusable after a cancelled run.
+func (s *Session) RunContext(ctx context.Context, g *graph.Graph) (*RunResult, error) {
+	return s.run(ctx, g, s.opts.Root)
+}
+
+// RunRooted is Run with a per-run root override, for harnesses sweeping
+// roots across a graph family.
+func (s *Session) RunRooted(g *graph.Graph, root int) (*RunResult, error) {
+	return s.run(nil, g, root)
+}
+
+func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, g.N())
+	}
+	s.ctx = ctx
+	defer func() { s.ctx = nil }()
+	if s.m == nil {
+		s.m = mapper.New(g.Delta())
+	} else {
+		s.m.Reset(g.Delta())
+	}
+	if s.eng == nil {
+		s.eng = sim.New(g, sim.Options{
+			Root:       root,
+			MaxTicks:   s.opts.MaxTicks,
+			Validate:   s.opts.Validate,
+			Workers:    s.opts.Workers,
+			Transcript: s.m.Process,
+			Observers:  s.opts.Observers,
+			RetainPool: true,
+			Cancel: func() error {
+				if s.ctx != nil {
+					return s.ctx.Err()
+				}
+				return nil
+			},
+		}, s.factory)
+	} else {
+		s.eng.ResetRooted(g, root)
+	}
+	stats, err := s.eng.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: protocol run failed: %w", err)
 	}
-	topo, err := m.Finish()
+	topo, err := s.m.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("core: transcript decoding failed: %w", err)
 	}
-	return &RunResult{Topology: topo, Stats: stats, Transactions: m.Transactions}, nil
+	return &RunResult{Topology: topo, Stats: stats, Transactions: s.m.Transactions}, nil
+}
+
+// Close releases the session's engine worker pool. Idempotent; the session
+// remains usable (the pool restarts lazily on the next parallel tick).
+func (s *Session) Close() {
+	if s.eng != nil {
+		s.eng.Close()
+	}
+}
+
+// Run maps g from the given root and returns the reconstruction with run
+// statistics. The input must be a valid network of the model. It is a
+// one-shot wrapper over Session; every exit path — validation failure, root
+// out of range, engine error, transcript-decoding failure — releases the
+// engine's worker pool.
+func Run(g *graph.Graph, opts Options) (*RunResult, error) {
+	s := NewSession(opts)
+	defer s.Close()
+	return s.Run(g)
 }
 
 // Exact reports whether a reconstruction matches the truth anchored at the

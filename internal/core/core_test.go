@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"topomap/internal/graph"
 	"topomap/internal/gtd"
@@ -76,5 +80,190 @@ func TestRunCustomConfig(t *testing.T) {
 	}
 	if res1.Stats.Ticks != res2.Stats.Ticks {
 		t.Fatal("explicit default config must behave like nil config")
+	}
+}
+
+// leakCheck runs fn and asserts the goroutine count returns to its starting
+// level afterwards (the engine worker pool must never leak).
+func leakCheck(t *testing.T, name string, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("%s: leaked worker goroutines: %d before, %d after", name, before, got)
+	}
+}
+
+// TestRunReleasesPoolOnEveryExit covers the pool-leak hazard of Run's early
+// error paths: whatever way a run ends — success, validation failure, root
+// out of range, tick-budget exhaustion, transcript-decoding failure — the
+// engine worker pool must be gone when Run returns. Workers are forced >1
+// so a pool actually exists to leak.
+func TestRunReleasesPoolOnEveryExit(t *testing.T) {
+	valid := graph.Torus(4, 4)
+	invalid := graph.New(3, 2)
+	invalid.MustConnect(0, 1, 1, 1)
+	invalid.MustConnect(1, 1, 0, 1)
+
+	leakCheck(t, "success", func() {
+		if _, err := Run(valid, Options{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	leakCheck(t, "validation failure", func() {
+		if _, err := Run(invalid, Options{Workers: 4}); err == nil {
+			t.Fatal("invalid network must be rejected")
+		}
+	})
+	leakCheck(t, "root out of range", func() {
+		if _, err := Run(valid, Options{Workers: 4, Root: 99}); err == nil {
+			t.Fatal("out-of-range root must be rejected")
+		}
+	})
+	leakCheck(t, "max ticks exceeded", func() {
+		if _, err := Run(valid, Options{Workers: 4, MaxTicks: 20}); !errors.Is(err, sim.ErrMaxTicks) {
+			t.Fatalf("expected ErrMaxTicks, got %v", err)
+		}
+	})
+	leakCheck(t, "engine deadlock", func() {
+		// A passive root never starts the DFS, so the network goes
+		// quiescent without the root terminating: the deadlock error
+		// path. (A genuine mapper-decode failure cannot be provoked
+		// through the correct protocol; its exit shares the same defer
+		// as the success path, which the first check covers.)
+		cfg := gtd.DefaultConfig()
+		cfg.PassiveRoot = true
+		if _, err := Run(valid, Options{Workers: 4, MaxTicks: 5000, Config: &cfg}); err == nil {
+			t.Fatal("passive-root GTD run must fail (no DFS ever starts)")
+		}
+	})
+}
+
+// TestSessionReuseMatchesFresh is the core-layer session equivalence test:
+// a session reused across graph families, seeds, and repeats must return
+// reconstructions and statistics identical to one-shot runs, at 1 and 4
+// engine workers.
+func TestSessionReuseMatchesFresh(t *testing.T) {
+	corpus := []*graph.Graph{
+		graph.Ring(12),
+		graph.Torus(4, 5),
+		graph.Kautz(2, 2),
+		graph.Random(24, 3, 52, 7),
+		graph.Torus(4, 5), // repeat: same graph twice in a row
+		graph.BiRing(9),
+	}
+	for _, workers := range []int{1, 4} {
+		s := NewSession(Options{Workers: workers})
+		for i, g := range corpus {
+			fresh, err := Run(g, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d graph %d fresh: %v", workers, i, err)
+			}
+			reused, err := s.Run(g)
+			if err != nil {
+				t.Fatalf("workers=%d graph %d reused: %v", workers, i, err)
+			}
+			if reused.Stats != fresh.Stats || reused.Transactions != fresh.Transactions {
+				t.Fatalf("workers=%d graph %d: stats diverge: %+v vs %+v",
+					workers, i, reused.Stats, fresh.Stats)
+			}
+			if !reused.Topology.Equal(fresh.Topology) {
+				t.Fatalf("workers=%d graph %d: reconstructions differ", workers, i)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestSessionRootSweep checks RunRooted against one-shot runs across roots.
+func TestSessionRootSweep(t *testing.T) {
+	g := graph.Kautz(2, 2)
+	s := NewSession(Options{})
+	defer s.Close()
+	for root := 0; root < g.N(); root++ {
+		fresh, err := Run(g, Options{Root: root})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := s.RunRooted(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused.Stats != fresh.Stats || !reused.Topology.Equal(fresh.Topology) {
+			t.Fatalf("root %d: session run diverges from fresh", root)
+		}
+	}
+}
+
+// TestSessionSurvivesFailedRuns checks a session keeps working after error
+// paths: an invalid graph, a budget failure, then a clean run.
+func TestSessionSurvivesFailedRuns(t *testing.T) {
+	s := NewSession(Options{Workers: 2})
+	defer s.Close()
+	invalid := graph.New(3, 2)
+	invalid.MustConnect(0, 1, 1, 1)
+	invalid.MustConnect(1, 1, 0, 1)
+	if _, err := s.Run(invalid); err == nil {
+		t.Fatal("invalid graph must be rejected")
+	}
+	g := graph.Torus(4, 4)
+	sBudget := NewSession(Options{Workers: 2, MaxTicks: 20})
+	defer sBudget.Close()
+	if _, err := sBudget.Run(g); !errors.Is(err, sim.ErrMaxTicks) {
+		t.Fatalf("expected ErrMaxTicks, got %v", err)
+	}
+	fresh, err := Run(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(g)
+	if err != nil {
+		t.Fatalf("session must recover after a rejected graph: %v", err)
+	}
+	if res.Stats != fresh.Stats {
+		t.Fatal("post-failure session run diverges from fresh")
+	}
+}
+
+// TestSessionCloseIdempotentAndReusable: Close twice, then keep mapping.
+func TestSessionCloseIdempotentAndReusable(t *testing.T) {
+	g := graph.Torus(4, 4)
+	s := NewSession(Options{Workers: 4})
+	if _, err := s.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	res, err := s.Run(g)
+	if err != nil {
+		t.Fatalf("closed session must restart lazily: %v", err)
+	}
+	if !Exact(g, 0, res.Topology) {
+		t.Fatal("post-Close run inexact")
+	}
+	s.Close()
+}
+
+// TestSessionContextCancel checks RunContext aborts promptly and leaves the
+// session reusable.
+func TestSessionContextCancel(t *testing.T) {
+	g := graph.Torus(5, 5)
+	s := NewSession(Options{Workers: 2})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	res, err := s.Run(g)
+	if err != nil {
+		t.Fatalf("session must survive cancellation: %v", err)
+	}
+	if !Exact(g, 0, res.Topology) {
+		t.Fatal("post-cancel run inexact")
 	}
 }

@@ -40,6 +40,10 @@ func E1Correctness(s Scale) (*Table, error) {
 	if s == Full {
 		seeds = []int64{1, 2, 3, 4, 5}
 	}
+	// The whole sweep reuses one session: every run recycles the engine,
+	// automata, and mapper of the previous one.
+	sess := newSweepSession(gtd.DefaultConfig())
+	defer sess.Close()
 	for _, fam := range graph.AllFamilies() {
 		for _, n := range sizes[fam] {
 			runs, exact := 0, 0
@@ -51,7 +55,7 @@ func E1Correctness(s Scale) (*Table, error) {
 					return nil, err
 				}
 				root := int(seed) % g.N()
-				r, err := runGTD(g, root, gtd.DefaultConfig(), nil, nil)
+				r, err := runSessionGTD(sess, g, root)
 				if err != nil {
 					return nil, fmt.Errorf("%s n=%d seed=%d: %w", fam, n, seed, err)
 				}

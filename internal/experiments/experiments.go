@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"topomap/internal/core"
 	"topomap/internal/graph"
 	"topomap/internal/gtd"
 	"topomap/internal/mapper"
@@ -23,6 +24,11 @@ import (
 // times only, never a measured table value (except the E9/E10 sweeps,
 // which report per-worker-count rows up to this cap).
 var Workers int
+
+// Sessions caps the session-pool sweep of the E13 batch experiment; 0 (the
+// default) sweeps {1, 2, 4, 8}. cmd/topobench -sessions sets it. Results
+// are identical at any pool size — only throughput varies.
+var Sessions int
 
 // maxWorkers resolves the harness worker cap.
 func maxWorkers() int {
@@ -125,6 +131,7 @@ var registry = []struct {
 	{"e10", E10SpeedAblation},
 	{"e11", E11DiameterFamilies},
 	{"e12", E12Pigeonhole},
+	{"e13", E13BatchThroughput},
 }
 
 // IDs lists experiment identifiers in order.
@@ -162,6 +169,33 @@ type runResult struct {
 // default adaptive dispatch.
 func runGTD(g *graph.Graph, root int, cfg gtd.Config, hooks gtd.Hooks, obs []sim.Observer) (*runResult, error) {
 	return runGTDBudget(g, root, cfg, hooks, obs, 64_000_000, maxWorkers(), 0)
+}
+
+// newSweepSession returns a reusable protocol session on the harness worker
+// cap, for the hook-free family sweeps (E1/E2/E11): one engine, automata
+// set, and mapper recycled across the whole sweep instead of reallocated
+// per run. Results are identical to per-run engines (the session
+// equivalence tests assert it); the sweep just allocates and starts up
+// far less.
+func newSweepSession(cfg gtd.Config) *core.Session {
+	return core.NewSession(core.Options{MaxTicks: 64_000_000, Workers: maxWorkers(), Config: &cfg})
+}
+
+// runSessionGTD executes one run of a sweep on a reusable session.
+func runSessionGTD(s *core.Session, g *graph.Graph, root int) (*runResult, error) {
+	res, err := s.RunRooted(g, root)
+	if err != nil {
+		return nil, err
+	}
+	return &runResult{
+		graph:    g,
+		root:     root,
+		mapped:   res.Topology,
+		exact:    g.IsomorphicFrom(root, res.Topology, 0),
+		ticks:    res.Stats.Ticks,
+		messages: res.Stats.NonBlankMessages,
+		trans:    res.Transactions,
+	}, nil
 }
 
 // runGTDBudget is runGTD with an explicit tick budget (the speed ablation

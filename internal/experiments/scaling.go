@@ -40,13 +40,15 @@ func E2GTDScaling(s Scale) (*Table, error) {
 			{graph.FamilyHypercube, []int{8, 16, 32, 64, 128}},
 		}
 	}
+	sess := newSweepSession(gtd.DefaultConfig())
+	defer sess.Close()
 	for _, cs := range cases {
 		for _, n := range cs.sizes {
 			g, err := graph.Build(cs.fam, n, 3)
 			if err != nil {
 				return nil, err
 			}
-			r, err := runGTD(g, 0, gtd.DefaultConfig(), nil, nil)
+			r, err := runSessionGTD(sess, g, 0)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", cs.fam, n, err)
 			}
@@ -215,6 +217,8 @@ func E11DiameterFamilies(s Scale) (*Table, error) {
 	if s == Full {
 		sizes = append(sizes, 96, 144)
 	}
+	sess := newSweepSession(gtd.DefaultConfig())
+	defer sess.Close()
 	for _, n := range sizes {
 		row := []string{fmtI(n)}
 		for _, fam := range []graph.Family{graph.FamilyRing, graph.FamilyTorus, graph.FamilyKautz} {
@@ -222,7 +226,7 @@ func E11DiameterFamilies(s Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := runGTD(g, 0, gtd.DefaultConfig(), nil, nil)
+			r, err := runSessionGTD(sess, g, 0)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", fam, n, err)
 			}

@@ -9,6 +9,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NoPort marks an unwired port slot.
@@ -37,10 +38,20 @@ type Graph struct {
 	out [][]Endpoint
 	// in[v][p-1] is the endpoint wired to in-port p of v, or {-1,-1}.
 	in [][]Endpoint
+	// valid memoises a successful Validate; any Connect clears it. Reused
+	// sessions re-validate their input graph every run, and the strong-
+	// connectivity pass would otherwise dominate a warm run's allocations.
+	// Accessed atomically: concurrent Validate calls on a shared graph
+	// (e.g. the same *Graph appearing twice in a MapBatch) are legal —
+	// Validate was always safe for concurrent use and must stay so.
+	valid atomic.Bool
 }
 
 // New returns an empty graph with n nodes, each with delta in-ports and
-// delta out-ports, all unwired.
+// delta out-ports, all unwired. The port tables are backed by a single flat
+// allocation, so building a graph costs O(1) allocations regardless of n —
+// mapping sessions construct one reconstruction graph per run, and the port
+// tables would otherwise dominate a warm run's allocation count.
 func New(n, delta int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
@@ -51,19 +62,16 @@ func New(n, delta int) *Graph {
 	g := &Graph{delta: delta}
 	g.out = make([][]Endpoint, n)
 	g.in = make([][]Endpoint, n)
+	flat := make([]Endpoint, 2*n*delta)
+	for i := range flat {
+		flat[i] = Endpoint{NoPort, NoPort}
+	}
 	for v := 0; v < n; v++ {
-		g.out[v] = unwired(delta)
-		g.in[v] = unwired(delta)
+		lo := v * delta
+		g.out[v] = flat[lo : lo+delta : lo+delta]
+		g.in[v] = flat[n*delta+lo : n*delta+lo+delta : n*delta+lo+delta]
 	}
 	return g
-}
-
-func unwired(delta int) []Endpoint {
-	ps := make([]Endpoint, delta)
-	for i := range ps {
-		ps[i] = Endpoint{NoPort, NoPort}
-	}
-	return ps
 }
 
 // N returns the number of nodes.
@@ -96,6 +104,7 @@ func (g *Graph) Connect(from, outPort, to, inPort int) error {
 	}
 	g.out[from][outPort-1] = Endpoint{to, inPort}
 	g.in[to][inPort-1] = Endpoint{from, outPort}
+	g.valid.Store(false)
 	return nil
 }
 
@@ -277,6 +286,9 @@ func (g *Graph) Equal(h *Graph) bool {
 // has at least one wired in-port and one wired out-port, wiring is mutually
 // consistent, there are no self-loops, and the graph is strongly connected.
 func (g *Graph) Validate() error {
+	if g.valid.Load() {
+		return nil
+	}
 	if g.N() == 0 {
 		return fmt.Errorf("graph: empty graph")
 	}
@@ -302,6 +314,7 @@ func (g *Graph) Validate() error {
 	if !g.StronglyConnected() {
 		return fmt.Errorf("graph: not strongly connected")
 	}
+	g.valid.Store(true)
 	return nil
 }
 

@@ -34,17 +34,17 @@ func (p *Processor) emit(out []wire.Message) {
 	}
 
 	// Dying snake converters.
-	if p.rca.conv != nil {
+	if p.rca.conv.Armed() {
 		if c, port, ok := p.rca.conv.Emit(); ok {
 			out[port-1].SetDie(c.Die(wire.KindID))
 		}
 	}
-	if p.root.odConv != nil {
+	if p.root.odConv.Armed() {
 		if c, port, ok := p.root.odConv.Emit(); ok {
 			out[port-1].SetDie(c.Die(wire.KindOD))
 		}
 	}
-	if p.bcaI.conv != nil {
+	if p.bcaI.conv.Armed() {
 		if c, port, ok := p.bcaI.conv.Emit(); ok {
 			out[port-1].SetDie(c.Die(wire.KindBD))
 		}

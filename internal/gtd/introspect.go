@@ -57,7 +57,7 @@ func (p *Processor) ResidueReport() Residue {
 		// is legitimate transaction state, not percolating residue.
 		r.RootClosed = p.root.conv.Visited
 		r.GrowChars += p.root.conv.PipeLen()
-		if p.root.odConv != nil && p.root.odConv.Busy() {
+		if p.root.odConv.Armed() && p.root.odConv.Busy() {
 			r.ConvBusy++
 		}
 	}
@@ -66,10 +66,10 @@ func (p *Processor) ResidueReport() Residue {
 			r.DieActive++
 		}
 	}
-	if p.rca.conv != nil && p.rca.conv.Busy() {
+	if p.rca.conv.Armed() && p.rca.conv.Busy() {
 		r.ConvBusy++
 	}
-	if p.bcaI.conv != nil && p.bcaI.conv.Busy() {
+	if p.bcaI.conv.Armed() && p.bcaI.conv.Busy() {
 		r.ConvBusy++
 	}
 	r.LoopMarked = p.marks.marked()

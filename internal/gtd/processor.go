@@ -106,12 +106,14 @@ const (
 	kickBCA
 )
 
-// rcaInitState is the state machine of an RCA's processor A (§4.2.1).
+// rcaInitState is the state machine of an RCA's processor A (§4.2.1). The
+// OG→ID converter is embedded by value and re-armed per transaction so the
+// hot path never heap-allocates.
 type rcaInitState struct {
 	phase   rcaPhase
 	ini     snake.Initiator
 	tok     wire.LoopToken // FORWARD(i,j) or BACK, released in step 4
-	conv    *snake.DieConverter
+	conv    snake.DieConverter
 	srcPort uint8
 }
 
@@ -148,7 +150,7 @@ type rootState struct {
 	sealed   bool
 	idActive bool
 	idSrc    uint8
-	odConv   *snake.DieConverter
+	odConv   snake.DieConverter
 }
 
 // bcaInitState is the state machine of a BCA's initiator B (§4.1; design
@@ -158,7 +160,7 @@ type bcaInitState struct {
 	ini        snake.Initiator
 	targetPort uint8
 	payload    wire.Payload
-	conv       *snake.DieConverter
+	conv       snake.DieConverter
 }
 
 type bcaIPhase uint8
@@ -196,7 +198,19 @@ const (
 
 // New constructs the processor automaton for one node.
 func New(cfg *Config, info sim.NodeInfo) *Processor {
-	p := &Processor{cfg: cfg, info: info, killPending: -1}
+	p := &Processor{cfg: cfg}
+	p.Reset(info)
+	return p
+}
+
+// Reset re-initialises the processor in place for a new run, implementing
+// sim.Resettable: every field returns to its New state (the configuration is
+// retained) without heap allocation, so a reused engine's automata layer
+// allocates nothing. The node's role — including whether it is the root —
+// may change between runs.
+func (p *Processor) Reset(info sim.NodeInfo) {
+	cfg := p.cfg
+	*p = Processor{cfg: cfg, info: info, killPending: -1}
 	for i := 0; i < wire.NumGrowKinds; i++ {
 		p.grow[i] = snake.NewGrowRelay(cfg.SnakeDelay)
 	}
@@ -208,7 +222,6 @@ func New(cfg *Config, info sim.NodeInfo) *Processor {
 		p.dfs.visited = true
 		p.rootKick = !cfg.PassiveRoot
 	}
-	return p
 }
 
 // NewFactory adapts New to the engine's factory signature. If cfg carries
@@ -261,14 +274,14 @@ func (p *Processor) Busy() bool {
 		if p.root.conv.Busy() {
 			return true
 		}
-		if p.root.odConv != nil && (p.root.odConv.Busy() || !p.root.odConv.Done()) {
+		if p.root.odConv.Armed() && (p.root.odConv.Busy() || !p.root.odConv.Done()) {
 			return true
 		}
 	}
-	if p.rca.conv != nil && (p.rca.conv.Busy() || !p.rca.conv.Done()) {
+	if p.rca.conv.Armed() && (p.rca.conv.Busy() || !p.rca.conv.Done()) {
 		return true
 	}
-	if p.bcaI.conv != nil && (p.bcaI.conv.Busy() || !p.bcaI.conv.Done()) {
+	if p.bcaI.conv.Armed() && (p.bcaI.conv.Busy() || !p.bcaI.conv.Done()) {
 		return true
 	}
 	return p.marks.busy() || p.killPending >= 0
@@ -346,14 +359,14 @@ func (p *Processor) beginTick() {
 	}
 	if p.info.Root {
 		p.root.conv.BeginTick()
-		if p.root.odConv != nil {
+		if p.root.odConv.Armed() {
 			p.root.odConv.BeginTick()
 		}
 	}
-	if p.rca.conv != nil {
+	if p.rca.conv.Armed() {
 		p.rca.conv.BeginTick()
 	}
-	if p.bcaI.conv != nil {
+	if p.bcaI.conv.Armed() {
 		p.bcaI.conv.BeginTick()
 	}
 	p.marks.age()

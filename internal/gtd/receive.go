@@ -65,7 +65,7 @@ func (p *Processor) rcaReceiveOG(c snake.Char, port uint8) {
 		// the rest of the snake.
 		p.marks.setSlot1(port, c.Out)
 		p.rca.srcPort = port
-		p.rca.conv = snake.NewDieConverter(p.cfg.SnakeDelay, c.Out, false, wire.PayloadNone)
+		p.rca.conv.Arm(p.cfg.SnakeDelay, c.Out, false, wire.PayloadNone)
 		p.rca.phase = rcaConverting
 	case rcaConverting:
 		if port == p.rca.srcPort && !p.rca.conv.Done() {
@@ -104,7 +104,7 @@ func (p *Processor) bcaReceiveBG(c snake.Char, port uint8) {
 		// The loop B→…→A→B is found: B's predecessor is the
 		// designated in-port, its successor the head's out entry.
 		p.marks.setSlot1(port, c.Out)
-		p.bcaI.conv = snake.NewDieConverter(p.cfg.SnakeDelay, c.Out, true, p.bcaI.payload)
+		p.bcaI.conv.Arm(p.cfg.SnakeDelay, c.Out, true, p.bcaI.payload)
 		p.bcaI.phase = biConverting
 	case biConverting:
 		if port == p.bcaI.targetPort && !p.bcaI.conv.Done() {
@@ -128,7 +128,7 @@ func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 			p.rootReceiveID(c, port)
 			return
 		}
-		if ev := p.die[wire.DieIndex(kind)].Receive(c, port); ev != nil {
+		if ev, ok := p.die[wire.DieIndex(kind)].Receive(c, port); ok {
 			p.marks.setSlot1(ev.Pred, ev.Succ)
 		}
 
@@ -145,7 +145,7 @@ func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 			p.rcaRelease()
 			return
 		}
-		if ev := p.die[wire.DieIndex(kind)].Receive(c, port); ev != nil {
+		if ev, ok := p.die[wire.DieIndex(kind)].Receive(c, port); ok {
 			p.marks.setSlot2(ev.Pred, ev.Succ)
 		}
 
@@ -166,7 +166,7 @@ func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 				return
 			}
 		}
-		if ev := p.die[wire.DieIndex(kind)].Receive(c, port); ev != nil {
+		if ev, ok := p.die[wire.DieIndex(kind)].Receive(c, port); ok {
 			p.marks.setSlot1(ev.Pred, ev.Succ)
 			if ev.Flag {
 				// This processor is the BCA target: the payload
@@ -193,7 +193,7 @@ func (p *Processor) rootReceiveID(c snake.Char, port uint8) {
 		p.marks.setRootJoin(port, c.Out)
 		p.root.idActive = true
 		p.root.idSrc = port
-		p.root.odConv = snake.NewDieConverter(p.cfg.SnakeDelay, c.Out, false, wire.PayloadNone)
+		p.root.odConv.Arm(p.cfg.SnakeDelay, c.Out, false, wire.PayloadNone)
 		return
 	}
 	if port != p.root.idSrc {
@@ -220,7 +220,7 @@ func (p *Processor) receiveLoop(t wire.LoopToken, port uint8) {
 	case p.rca.phase == rcaWaitUnmark && t.Type == wire.LoopUnmark && port == p.marks.pred1:
 		p.marks.clearAll()
 		p.rca.phase = rcaIdle
-		p.rca.conv = nil
+		p.rca.conv.Disarm()
 		p.cfg.hook(p.info.Index, EvRCADone, 0)
 		p.rcaComplete()
 
@@ -244,7 +244,7 @@ func (p *Processor) receiveLoop(t wire.LoopToken, port uint8) {
 		if p.bcaI.phase == biMarked && t.Type == wire.LoopUnmark && port == p.marks.pred1 {
 			// B's transaction closes as the UNMARK passes through.
 			p.bcaI.phase = biIdle
-			p.bcaI.conv = nil
+			p.bcaI.conv.Disarm()
 		}
 		isRootJunction := p.marks.rootJoin
 		p.marks.relay(t, port, p.cfg.loopSpeedDelay(t.Type))
@@ -264,7 +264,7 @@ func (p *Processor) rootReset() {
 	p.root.sealed = false
 	p.root.idActive = false
 	p.root.idSrc = 0
-	p.root.odConv = nil
+	p.root.odConv.Disarm()
 }
 
 // receiveDFS handles the depth-first-search token arriving through a forward

@@ -17,7 +17,7 @@ package mapper
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"topomap/internal/graph"
 	"topomap/internal/sim"
@@ -30,13 +30,20 @@ type PathEdge struct {
 	Out, In uint8
 }
 
+// appendSignature renders a canonical path into b ("out:in;" per hop).
+func appendSignature(b []byte, path []PathEdge) []byte {
+	for _, e := range path {
+		b = strconv.AppendUint(b, uint64(e.Out), 10)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, uint64(e.In), 10)
+		b = append(b, ';')
+	}
+	return b
+}
+
 // Signature renders a canonical path as a node-identity string.
 func Signature(path []PathEdge) string {
-	var b strings.Builder
-	for _, e := range path {
-		fmt.Fprintf(&b, "%d:%d;", e.Out, e.In)
-	}
-	return b.String()
+	return string(appendSignature(nil, path))
 }
 
 type phase uint8
@@ -82,21 +89,53 @@ type Mapper struct {
 	stack []int
 	edges []graph.Edge
 
+	// sigBuf is the scratch the current signature is rendered into before
+	// a (no-allocation) map lookup; intern caches signature strings across
+	// Reset so repeated runs over the same topology allocate no new keys.
+	sigBuf []byte
+	intern map[string]string
+
 	// Transactions counts completed RCAs plus root-local equivalents.
 	Transactions int
 
 	err error
 }
 
+// internCap bounds the signature cache; a session that maps many distinct
+// topologies drops the cache rather than growing without bound.
+const internCap = 1 << 16
+
 // New returns a mapper for a root with the given degree bound.
 func New(delta int) *Mapper {
 	m := &Mapper{
-		delta: delta,
-		nodes: map[string]int{"": 0}, // the root has the empty signature
-		sigs:  []string{""},
-		stack: []int{0},
+		nodes:  make(map[string]int),
+		intern: make(map[string]string),
 	}
+	m.Reset(delta)
 	return m
+}
+
+// Reset returns the mapper to its initial state for a new transcript,
+// retaining (and reusing) the node table, path, and edge buffers so a
+// steady-state rerun allocates almost nothing. The signature intern cache
+// survives the reset: decoding the same topology again reuses the previous
+// run's identity strings outright.
+func (m *Mapper) Reset(delta int) {
+	m.delta = delta
+	m.ph = phIdle
+	m.lockPort, m.pred, m.bcaPort = 0, 0, 0
+	m.igPath = m.igPath[:0]
+	m.idPath = m.idPath[:0]
+	clear(m.nodes)
+	m.nodes[""] = 0 // the root has the empty signature
+	m.sigs = append(m.sigs[:0], "")
+	m.stack = append(m.stack[:0], 0)
+	m.edges = m.edges[:0]
+	if len(m.intern) > internCap {
+		clear(m.intern)
+	}
+	m.Transactions = 0
+	m.err = nil
 }
 
 // Err returns the first decoding error encountered, if any.
@@ -343,9 +382,17 @@ func (m *Mapper) onDFS(tick int, t wire.DFSToken, port uint8) {
 // applyForward handles a FORWARD(out, in) report by processor A, identified
 // by the canonical root→A path.
 func (m *Mapper) applyForward(tick int, outPort, inPort uint8, rootToA []PathEdge) {
-	sig := Signature(rootToA)
-	id, known := m.nodes[sig]
+	m.sigBuf = appendSignature(m.sigBuf[:0], rootToA)
+	// The string(...) conversions inside the map index expressions do not
+	// allocate; a new key string is built (and interned) only the first
+	// time a signature is ever seen by this mapper.
+	id, known := m.nodes[string(m.sigBuf)]
 	if !known {
+		sig, ok := m.intern[string(m.sigBuf)]
+		if !ok {
+			sig = string(m.sigBuf)
+			m.intern[sig] = sig
+		}
 		id = len(m.sigs)
 		m.nodes[sig] = id
 		m.sigs = append(m.sigs, sig)
@@ -365,10 +412,10 @@ func (m *Mapper) applyBack(tick int, rootToA []PathEdge) {
 	}
 	m.stack = m.stack[:len(m.stack)-1]
 	if rootToA != nil {
-		sig := Signature(rootToA)
-		id, known := m.nodes[sig]
+		m.sigBuf = appendSignature(m.sigBuf[:0], rootToA)
+		id, known := m.nodes[string(m.sigBuf)]
 		if !known {
-			m.fail(tick, "BACK from an unmapped processor (signature %q)", sig)
+			m.fail(tick, "BACK from an unmapped processor (signature %q)", string(m.sigBuf))
 			return
 		}
 		if top := m.stack[len(m.stack)-1]; top != id {

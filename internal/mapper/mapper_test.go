@@ -286,3 +286,119 @@ func TestMapperStarRewrite(t *testing.T) {
 		t.Fatalf("star rewrite failed: %v", m.Err())
 	}
 }
+
+// feedForwardRCA drives one complete FORWARD RCA through the mapper: a
+// one-hop IG path on port 1, the ID snake back, the FORWARD token, UNMARK.
+func feedForwardRCA(m *Mapper, out, in uint8) {
+	m.Process(entry(1, 2, func(msgs []wire.Message) {
+		msgs[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Head, Out: out, In: 1})
+	}))
+	m.Process(entry(2, 2, func(msgs []wire.Message) {
+		msgs[0].SetGrow(wire.GrowChar{Kind: wire.KindIG, Part: wire.Tail})
+	}))
+	m.Process(entry(3, 2, func(msgs []wire.Message) {
+		msgs[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: wire.Head, Out: out, In: in})
+	}))
+	m.Process(entry(4, 2, func(msgs []wire.Message) {
+		msgs[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: wire.Tail})
+	}))
+	m.Process(entry(5, 2, func(msgs []wire.Message) {
+		msgs[0].SetLoop(wire.LoopToken{Type: wire.LoopForward, Out: out, In: in})
+	}))
+	m.Process(entry(6, 2, func(msgs []wire.Message) {
+		msgs[0].SetLoop(wire.LoopToken{Type: wire.LoopUnmark})
+	}))
+}
+
+// feedRootReturn drives one DFS return to the root (the root as BCA
+// target): the flagged BD head, the BD tail, and UNMARK — popping one node.
+func feedRootReturn(m *Mapper) {
+	m.Process(entry(7, 2, func(msgs []wire.Message) {
+		msgs[0].SetDie(wire.DieChar{Kind: wire.KindBD, Part: wire.Head, Out: 1, In: 1,
+			Flag: true, Payload: wire.PayloadDFSReturn})
+	}))
+	m.Process(entry(8, 2, func(msgs []wire.Message) {
+		msgs[0].SetDie(wire.DieChar{Kind: wire.KindBD, Part: wire.Tail})
+	}))
+	m.Process(entry(9, 2, func(msgs []wire.Message) {
+		msgs[0].SetLoop(wire.LoopToken{Type: wire.LoopUnmark})
+	}))
+}
+
+// feedFullTranscript feeds a complete, finishable transcript: two FORWARD
+// transactions building a chain root→A→B, then two root-local DFS returns
+// unwinding the stack.
+func feedFullTranscript(m *Mapper, out1, out2 uint8) {
+	feedForwardRCA(m, out1, 1)
+	feedForwardRCA(m, out2, 2)
+	feedRootReturn(m)
+	feedRootReturn(m)
+}
+
+// TestMapperReset: a reset mapper decodes a second transcript exactly like
+// a fresh one, with the node table, stack, and error state all cleared.
+func TestMapperReset(t *testing.T) {
+	m := New(2)
+	feedForwardRCA(m, 1, 1)
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	if m.NumNodes() != 2 || m.Transactions != 1 {
+		t.Fatalf("first transcript: %d nodes, %d transactions", m.NumNodes(), m.Transactions)
+	}
+	// Mid-state reset: the stack is non-trivial (FORWARD pushed a node)
+	// and Finish would fail; Reset must discard all of it.
+	m.Reset(2)
+	if m.Transactions != 0 || m.NumNodes() != 1 {
+		t.Fatalf("reset left state behind: %d nodes, %d transactions", m.NumNodes(), m.Transactions)
+	}
+	fresh := New(2)
+	feedFullTranscript(m, 2, 1)
+	feedFullTranscript(fresh, 2, 1)
+	gm, err := m.Finish()
+	if err != nil {
+		t.Fatalf("reset mapper: %v", err)
+	}
+	gf, err := fresh.Finish()
+	if err != nil {
+		t.Fatalf("fresh mapper: %v", err)
+	}
+	if !gm.Equal(gf) {
+		t.Fatal("reset mapper decoded a different topology than a fresh one")
+	}
+	if m.Transactions != fresh.Transactions || m.NumNodes() != fresh.NumNodes() {
+		t.Fatalf("reset mapper counters diverge: %d/%d vs %d/%d",
+			m.Transactions, m.NumNodes(), fresh.Transactions, fresh.NumNodes())
+	}
+}
+
+// TestMapperResetClearsError: a decoding error must not survive Reset.
+func TestMapperResetClearsError(t *testing.T) {
+	m := New(2)
+	// An ID head at an idle root is a protocol violation.
+	m.Process(entry(1, 2, func(msgs []wire.Message) {
+		msgs[0].SetDie(wire.DieChar{Kind: wire.KindID, Part: wire.Head, Out: 1, In: 1})
+	}))
+	if m.Err() == nil {
+		t.Fatal("expected a decoding error")
+	}
+	m.Reset(2)
+	if m.Err() != nil {
+		t.Fatalf("error survived reset: %v", m.Err())
+	}
+	if _, err := m.Finish(); err != nil {
+		t.Fatalf("reset mapper must finish cleanly on an empty transcript: %v", err)
+	}
+}
+
+// TestSignatureFormat pins the signature rendering the node-identity map
+// keys use (the allocation-light path must match the historical format).
+func TestSignatureFormat(t *testing.T) {
+	sig := Signature([]PathEdge{{Out: 3, In: 1}, {Out: 12, In: 7}})
+	if sig != "3:1;12:7;" {
+		t.Fatalf("signature format changed: %q", sig)
+	}
+	if Signature(nil) != "" {
+		t.Fatal("empty path must render the root's empty signature")
+	}
+}

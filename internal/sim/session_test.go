@@ -1,0 +1,257 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/sim"
+)
+
+// transcriptRecorder renders root transcript entries and final statistics
+// into the same canonical form as runTranscript, but is retargetable so one
+// engine can record several runs (Reset reuse).
+type transcriptRecorder struct {
+	b strings.Builder
+}
+
+func (r *transcriptRecorder) record(e sim.TranscriptEntry) {
+	fmt.Fprintf(&r.b, "%d:", e.Tick)
+	for p, m := range e.In {
+		if !m.IsBlank() {
+			fmt.Fprintf(&r.b, "i%d=%v;", p, m)
+		}
+	}
+	for p, m := range e.Out {
+		if !m.IsBlank() {
+			fmt.Fprintf(&r.b, "o%d=%v;", p, m)
+		}
+	}
+	r.b.WriteByte('\n')
+}
+
+func (r *transcriptRecorder) finish(t *testing.T, eng *sim.Engine) string {
+	t.Helper()
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&r.b, "stats: ticks=%d msgs=%d steps=%d maxactive=%d\n",
+		stats.Ticks, stats.NonBlankMessages, stats.StepCalls, stats.MaxActive)
+	out := r.b.String()
+	r.b.Reset()
+	return out
+}
+
+// newRecordedEngine builds an engine whose transcript feeds rec, configured
+// like the equivalence corpus runs (forced parallel dispatch, retained
+// pool so Reset reuse also reuses the workers).
+func newRecordedEngine(g *graph.Graph, workers int, rec *transcriptRecorder) *sim.Engine {
+	return sim.New(g, sim.Options{
+		MaxTicks:          8_000_000,
+		Workers:           workers,
+		ParallelThreshold: 1,
+		RetainPool:        true,
+		Transcript:        rec.record,
+	}, gtd.NewFactory(gtd.DefaultConfig()))
+}
+
+// TestResetMatchesFreshTranscripts is the session-reuse face of the
+// determinism contract: an engine reused via Reset — across different graph
+// families and repeated runs of the same graph — must produce transcripts
+// and statistics bit-identical to a fresh engine, at one and several
+// workers.
+func TestResetMatchesFreshTranscripts(t *testing.T) {
+	graphs := equivalenceGraphs(t)
+	names := make([]string, 0, len(graphs))
+	for name := range graphs {
+		names = append(names, name)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			var rec transcriptRecorder
+			var eng *sim.Engine
+			for _, name := range names {
+				g := graphs[name]
+				want := runTranscript(t, g, workers)
+				for rep := 0; rep < 2; rep++ {
+					if eng == nil {
+						eng = newRecordedEngine(g, workers, &rec)
+					} else {
+						eng.Reset(g)
+					}
+					if got := rec.finish(t, eng); got != want {
+						t.Fatalf("%s rep=%d: reused transcript diverges from fresh\nfresh:\n%s\nreused:\n%s",
+							name, rep, want, got)
+					}
+				}
+			}
+			eng.Close()
+		})
+	}
+}
+
+// TestResetRootedMatchesFresh checks the per-run root override against
+// fresh engines across every root of a graph.
+func TestResetRootedMatchesFresh(t *testing.T) {
+	g := graph.Torus(3, 4)
+	var rec transcriptRecorder
+	eng := newRecordedEngine(g, 2, &rec)
+	defer eng.Close()
+	for root := 0; root < g.N(); root++ {
+		var fresh transcriptRecorder
+		fe := sim.New(g, sim.Options{
+			MaxTicks:          8_000_000,
+			Root:              root,
+			Workers:           2,
+			ParallelThreshold: 1,
+			Transcript:        fresh.record,
+		}, gtd.NewFactory(gtd.DefaultConfig()))
+		want := fresh.finish(t, fe)
+		eng.ResetRooted(g, root)
+		if got := rec.finish(t, eng); got != want {
+			t.Fatalf("root %d: reused transcript diverges from fresh", root)
+		}
+	}
+}
+
+// TestResetAcrossSizes exercises buffer growth and shrinkage: the engine
+// must recycle (or grow) its node and wire buffers as the graph size swings
+// while staying bit-identical to fresh engines.
+func TestResetAcrossSizes(t *testing.T) {
+	sizes := []int{8, 40, 12, 64, 8}
+	var rec transcriptRecorder
+	var eng *sim.Engine
+	for _, n := range sizes {
+		g := graph.Ring(n)
+		want := runTranscript(t, g, 4)
+		if eng == nil {
+			eng = newRecordedEngine(g, 4, &rec)
+		} else {
+			eng.Reset(g)
+		}
+		if got := rec.finish(t, eng); got != want {
+			t.Fatalf("ring %d: reused transcript diverges from fresh", n)
+		}
+	}
+	// Shrink across a delta change too (ring δ=1... use torus δ=4).
+	g := graph.Torus(4, 5)
+	want := runTranscript(t, g, 4)
+	eng.Reset(g)
+	if got := rec.finish(t, eng); got != want {
+		t.Fatal("torus after rings: reused transcript diverges from fresh")
+	}
+	eng.Close()
+}
+
+// TestResetAfterMaxTicksError checks that an engine whose run failed on the
+// tick budget is still cleanly reusable: stale in-flight symbols must not
+// leak into the next run, and the retained explicit budget must make the
+// rerun fail bit-identically (determinism of failure under reuse).
+func TestResetAfterMaxTicksError(t *testing.T) {
+	g := graph.Torus(4, 4)
+	var rec transcriptRecorder
+	eng := sim.New(g, sim.Options{
+		MaxTicks:          25, // protocol cannot finish
+		Workers:           2,
+		ParallelThreshold: 1,
+		RetainPool:        true,
+		Transcript:        rec.record,
+	}, gtd.NewFactory(gtd.DefaultConfig()))
+	defer eng.Close()
+	runOnce := func() (string, sim.Stats, error) {
+		stats, err := eng.Run()
+		out := rec.b.String()
+		rec.b.Reset()
+		return out, stats, err
+	}
+	t1, s1, err := runOnce()
+	if !errors.Is(err, sim.ErrMaxTicks) {
+		t.Fatalf("expected ErrMaxTicks, got %v", err)
+	}
+	eng.Reset(g)
+	t2, s2, err := runOnce()
+	if !errors.Is(err, sim.ErrMaxTicks) {
+		t.Fatalf("retained explicit budget must fail identically, got %v", err)
+	}
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("failed reruns diverge: stats %+v vs %+v\nfirst:\n%s\nsecond:\n%s", s1, s2, t1, t2)
+	}
+}
+
+// TestResetCancel checks the Cancel hook: a cancelled run returns the
+// cancellation error (wrapped) promptly and the engine remains reusable.
+func TestResetCancel(t *testing.T) {
+	g := graph.Torus(4, 4)
+	stop := errors.New("stop requested")
+	var armed bool
+	var rec transcriptRecorder
+	eng := sim.New(g, sim.Options{
+		MaxTicks:          8_000_000,
+		Workers:           2,
+		ParallelThreshold: 1,
+		RetainPool:        true,
+		Transcript:        rec.record,
+		Cancel: func() error {
+			if armed {
+				return stop
+			}
+			return nil
+		},
+	}, gtd.NewFactory(gtd.DefaultConfig()))
+	defer eng.Close()
+	// Let it run a few ticks, then cancel.
+	for i := 0; i < 10; i++ {
+		if _, err := eng.RunOne(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	armed = true
+	if _, err := eng.Run(); !errors.Is(err, stop) {
+		t.Fatalf("expected the cancellation error, got %v", err)
+	}
+	// The engine must be cleanly reusable after cancellation.
+	armed = false
+	rec.b.Reset()
+	want := runTranscript(t, g, 2)
+	eng.Reset(g)
+	if got := rec.finish(t, eng); got != want {
+		t.Fatal("post-cancel reuse diverges from fresh")
+	}
+}
+
+// TestRetainPoolLifecycle checks that RetainPool keeps workers parked
+// across runs and that Close (idempotently) releases them.
+func TestRetainPoolLifecycle(t *testing.T) {
+	g := graph.Torus(5, 5)
+	before := runtime.NumGoroutine()
+	var rec transcriptRecorder
+	eng := newRecordedEngine(g, 4, &rec)
+	_ = rec.finish(t, eng)
+	if runtime.NumGoroutine() <= before {
+		t.Fatal("retained pool should keep workers parked after the run")
+	}
+	// Reuse must not add workers run over run.
+	during := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		eng.Reset(g)
+		_ = rec.finish(t, eng)
+	}
+	if got := runtime.NumGoroutine(); got > during {
+		t.Fatalf("pool grew across reuse: %d -> %d goroutines", during, got)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("Close must release the retained pool: %d before, %d after", before, got)
+	}
+}

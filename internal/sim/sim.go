@@ -78,7 +78,9 @@ type Terminator interface {
 }
 
 // TranscriptEntry is one tick of the root's I/O transcript: everything the
-// root's master computer is allowed to see (§1.2.1).
+// root's master computer is allowed to see (§1.2.1). The In/Out slices are
+// owned by the engine and reused every tick: they are valid only until the
+// Transcript callback returns, and a consumer that retains them must copy.
 type TranscriptEntry struct {
 	Tick int
 	In   []wire.Message // by in-port, index p-1
@@ -134,6 +136,16 @@ type Options struct {
 	// max(4·Workers, 16)). Equivalence tests and the E9/E10 sweeps set
 	// it to 1 to force the parallel path; 0 keeps the default.
 	ParallelThreshold int
+	// RetainPool keeps the parked worker pool alive when a run finishes
+	// instead of releasing it, so an engine reused via Reset skips the
+	// pool restart on the next run. The owner must call Close when done;
+	// a panic escaping a tick still releases the pool unconditionally.
+	RetainPool bool
+	// Cancel, if non-nil, is polled by Run before every tick; when it
+	// returns a non-nil error the run stops with that error (wrapped).
+	// The engine remains resettable afterwards. Sessions wire a
+	// context.Context's Err here for prompt batch cancellation.
+	Cancel func() error
 }
 
 // Stats summarises a run.
@@ -144,26 +156,45 @@ type Stats struct {
 	MaxActive        int   // peak simultaneously active processors
 }
 
-// Engine executes a network of automata in lockstep over a graph.
+// Engine executes a network of automata in lockstep over a graph. An engine
+// is reusable: Reset re-targets it at a new graph (or the same one) while
+// recycling every node, wire, and shard buffer, so steady-state reruns
+// allocate nothing in the engine layer.
 type Engine struct {
-	g     *graph.Graph
-	opts  Options
-	procs []Automaton
+	g       *graph.Graph
+	opts    Options
+	factory func(NodeInfo) Automaton
+	// autoMaxTicks records that Options.MaxTicks was defaulted from the
+	// node count, so Reset recomputes it for the new graph.
+	autoMaxTicks bool
+	procs        []Automaton
 
 	// Routing tables: for node v, out-port p (0-based), route[v][p] gives
-	// the destination node and 0-based in-port, or node -1.
-	route [][]graph.Endpoint
+	// the destination node and 0-based in-port, or node -1. Rows are
+	// views into routeFlat.
+	route     [][]graph.Endpoint
+	routeFlat []graph.Endpoint
 
+	// Wire planes: rows are views into msgFlat (three planes of n·δ).
 	in      [][]wire.Message // current tick inputs, [node][in-port]
 	nextIn  [][]wire.Message
 	outBuf  [][]wire.Message
+	msgFlat []wire.Message
+
+	// wiredFlat backs the NodeInfo.InWired/OutWired views handed to the
+	// automata (two planes of n·δ); rewritten in place on Reset.
+	wiredFlat []bool
+
 	hasIn   []uint32 // node received a non-blank symbol this tick
 	nextHas []uint32 // written concurrently by workers (atomic, idempotent)
 
 	// Root transcript capture for the tick in flight; only the worker
-	// owning the root's shard writes these.
-	rootIn  []wire.Message
-	rootOut []wire.Message
+	// owning the root's shard writes rootIn/rootOut, which alias the
+	// reused rootInBuf/rootOutBuf scratch between ticks.
+	rootIn     []wire.Message
+	rootOut    []wire.Message
+	rootInBuf  []wire.Message
+	rootOutBuf []wire.Message
 
 	workers  int     // resolved worker count (≥ 1)
 	parMin   int     // minimum per-tick work to dispatch in parallel
@@ -172,9 +203,10 @@ type Engine struct {
 	shards   []shard // one per worker; shards[0] runs on the caller
 
 	// Persistent worker pool, started lazily at the first parallel tick
-	// and stopped when the run finishes (or via Close). Each worker owns
-	// one start channel; completions funnel through the shared done
-	// channel, whose receives order every worker write before the merge.
+	// and stopped when the run finishes (unless Options.RetainPool) or
+	// via Close. Each worker owns one start channel; completions funnel
+	// through the shared done channel, whose receives order every worker
+	// write before the merge.
 	poolUp  bool
 	startCh []chan struct{}
 	doneCh  chan struct{}
@@ -208,75 +240,191 @@ var (
 	ErrDeadlock = errors.New("sim: network quiescent before root terminated")
 )
 
+// Resettable is implemented by automata that can be re-initialised in place
+// for a new run. Engine.Reset calls Reset instead of the construction
+// factory for nodes whose automaton implements it, which keeps the
+// steady-state of a reused engine allocation-free; other automata are
+// rebuilt through the factory.
+type Resettable interface {
+	Reset(info NodeInfo)
+}
+
 // New builds an engine over g; factory is called once per node, in index
 // order, to construct its automaton. The graph is not modified and must not
-// change during the run.
+// change during the run. The factory is retained for Reset.
 func New(g *graph.Graph, opts Options, factory func(NodeInfo) Automaton) *Engine {
+	e := &Engine{opts: opts, factory: factory, autoMaxTicks: opts.MaxTicks <= 0}
+	e.ResetRooted(g, opts.Root)
+	return e
+}
+
+// Reset re-targets the engine at g for a fresh run, recycling the node,
+// wire, shard, and transcript buffers (growing them only when g needs more
+// capacity) and re-initialising automata in place when they implement
+// Resettable. Every option — root, tick budget (recomputed when it was
+// defaulted), worker count, callbacks — is retained. A retained worker pool
+// (Options.RetainPool) survives the reset when the shard layout is
+// unchanged. The reused engine is observationally identical to a fresh
+// New: transcripts, statistics, and failures are bit-for-bit the same.
+func (e *Engine) Reset(g *graph.Graph) { e.ResetRooted(g, e.opts.Root) }
+
+// ResetRooted is Reset with a new root index, for harnesses sweeping roots.
+func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 	n := g.N()
 	delta := g.Delta()
-	e := &Engine{g: g, opts: opts}
-	if e.opts.MaxTicks <= 0 {
+	e.g = g
+	e.opts.Root = root
+	if e.autoMaxTicks {
 		e.opts.MaxTicks = 64*n*n + 4096
 	}
-	e.procs = make([]Automaton, n)
-	e.route = make([][]graph.Endpoint, n)
-	e.in = make([][]wire.Message, n)
-	e.nextIn = make([][]wire.Message, n)
-	e.outBuf = make([][]wire.Message, n)
-	e.hasIn = make([]uint32, n)
-	e.nextHas = make([]uint32, n)
-	e.workers = opts.Workers
-	if e.workers <= 0 {
-		e.workers = runtime.GOMAXPROCS(0)
-	}
-	if e.workers > n {
-		e.workers = n
-	}
-	if e.workers > 1 {
-		e.parMin = 4 * e.workers
-		if e.parMin < 16 {
-			e.parMin = 16
-		}
-		if opts.ParallelThreshold > 0 {
-			e.parMin = opts.ParallelThreshold
-		}
-		e.shards = make([]shard, e.workers)
-		per := (n + e.workers - 1) / e.workers
-		for w := range e.shards {
-			lo := w * per
-			hi := lo + per
-			if hi > n {
-				hi = n
-			}
-			e.shards[w] = shard{lo: lo, hi: hi}
-		}
-	}
+
+	e.resizeBuffers(n, delta)
+	e.resetWorkers(n)
+
 	for v := 0; v < n; v++ {
 		info := NodeInfo{
 			Index:    v,
-			Root:     v == opts.Root,
+			Root:     v == root,
 			Delta:    delta,
-			InWired:  make([]bool, delta),
-			OutWired: make([]bool, delta),
+			InWired:  e.wiredFlat[(2*v)*delta : (2*v+1)*delta],
+			OutWired: e.wiredFlat[(2*v+1)*delta : (2*v+2)*delta],
 		}
-		e.route[v] = make([]graph.Endpoint, delta)
 		for p := 1; p <= delta; p++ {
 			if ep, ok := g.OutEndpoint(v, p); ok {
 				info.OutWired[p-1] = true
 				e.route[v][p-1] = graph.Endpoint{Node: ep.Node, Port: ep.Port - 1}
 			} else {
+				info.OutWired[p-1] = false
 				e.route[v][p-1] = graph.Endpoint{Node: -1, Port: -1}
 			}
-			if _, ok := g.InEndpoint(v, p); ok {
-				info.InWired[p-1] = true
-			}
+			_, ok := g.InEndpoint(v, p)
+			info.InWired[p-1] = ok
 		}
-		e.procs[v] = factory(info)
-		e.in[v] = make([]wire.Message, delta)
-		e.nextIn[v] = make([]wire.Message, delta)
-		e.outBuf[v] = make([]wire.Message, delta)
+		if r, ok := e.procs[v].(Resettable); ok {
+			r.Reset(info)
+		} else {
+			e.procs[v] = e.factory(info)
+		}
 	}
-	return e
+
+	e.rootIn, e.rootOut = nil, nil
+	e.lastLive, e.lastWork = 0, 0
+	e.tick = 0
+	e.stats = Stats{}
+	e.done = false
+}
+
+// resizeBuffers re-slices (or grows) every per-node buffer for n nodes of
+// degree bound delta and zeroes the reused state.
+func (e *Engine) resizeBuffers(n, delta int) {
+	need := n * delta
+
+	if cap(e.msgFlat) >= 3*need {
+		e.msgFlat = e.msgFlat[:3*need]
+		clear(e.msgFlat)
+	} else {
+		e.msgFlat = make([]wire.Message, 3*need)
+	}
+	if cap(e.routeFlat) >= need {
+		e.routeFlat = e.routeFlat[:need]
+	} else {
+		e.routeFlat = make([]graph.Endpoint, need)
+	}
+	if cap(e.wiredFlat) >= 2*need {
+		e.wiredFlat = e.wiredFlat[:2*need]
+	} else {
+		e.wiredFlat = make([]bool, 2*need)
+	}
+
+	e.in = resliceRows(e.in, n)
+	e.nextIn = resliceRows(e.nextIn, n)
+	e.outBuf = resliceRows(e.outBuf, n)
+	if cap(e.route) >= n {
+		e.route = e.route[:n]
+	} else {
+		e.route = make([][]graph.Endpoint, n)
+	}
+	for v := 0; v < n; v++ {
+		lo := v * delta
+		e.in[v] = e.msgFlat[lo : lo+delta : lo+delta]
+		e.nextIn[v] = e.msgFlat[need+lo : need+lo+delta : need+lo+delta]
+		e.outBuf[v] = e.msgFlat[2*need+lo : 2*need+lo+delta : 2*need+lo+delta]
+		e.route[v] = e.routeFlat[lo : lo+delta : lo+delta]
+	}
+
+	if cap(e.hasIn) >= n {
+		e.hasIn = e.hasIn[:n]
+		clear(e.hasIn)
+		e.nextHas = e.nextHas[:n]
+		clear(e.nextHas)
+	} else {
+		e.hasIn = make([]uint32, n)
+		e.nextHas = make([]uint32, n)
+	}
+
+	// Keep automata from shrunken runs in the slice's spare capacity so a
+	// later growth recovers (and resets) them instead of reconstructing.
+	if cap(e.procs) >= n {
+		e.procs = e.procs[:n]
+	} else {
+		old := e.procs
+		e.procs = make([]Automaton, n)
+		copy(e.procs, old[:cap(old)])
+	}
+}
+
+// resliceRows reuses a row-header slice when its capacity suffices.
+func resliceRows(rows [][]wire.Message, n int) [][]wire.Message {
+	if cap(rows) >= n {
+		return rows[:n]
+	}
+	return make([][]wire.Message, n)
+}
+
+// resetWorkers re-resolves the worker count and shard layout for n nodes. A
+// running pool survives only when the shard count is unchanged (the parked
+// workers hold pointers into e.shards, whose backing array is kept); any
+// layout change stops the pool, which restarts lazily at the next parallel
+// tick.
+func (e *Engine) resetWorkers(n int) {
+	w := e.opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	e.workers = w
+	if w <= 1 {
+		e.stopPool()
+		e.shards = nil
+		e.parMin = 0
+		return
+	}
+	e.parMin = 4 * w
+	if e.parMin < 16 {
+		e.parMin = 16
+	}
+	if e.opts.ParallelThreshold > 0 {
+		e.parMin = e.opts.ParallelThreshold
+	}
+	if len(e.shards) != w {
+		e.stopPool()
+		if cap(e.shards) >= w {
+			e.shards = e.shards[:w]
+		} else {
+			e.shards = make([]shard, w)
+		}
+	}
+	per := (n + w - 1) / w
+	for i := range e.shards {
+		lo := i * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		e.shards[i] = shard{lo: lo, hi: hi}
+	}
 }
 
 // Graph returns the engine's topology (read-only by convention).
@@ -355,10 +503,13 @@ func (e *Engine) stepRange(lo, hi int, sh *shard, par bool) bool {
 		}
 		if v == rootIdx && e.opts.Transcript != nil {
 			// hasIn holds exactly when some in-port carries a
-			// non-blank symbol this tick.
+			// non-blank symbol this tick. The scratch buffers are
+			// engine-owned and reused every tick (the callback may
+			// not retain them), so steady state allocates nothing.
 			if hasIn || nonBlankOut {
-				e.rootIn = append([]wire.Message(nil), in...)
-				e.rootOut = append([]wire.Message(nil), out...)
+				e.rootInBuf = append(e.rootInBuf[:0], in...)
+				e.rootOutBuf = append(e.rootOutBuf[:0], out...)
+				e.rootIn, e.rootOut = e.rootInBuf, e.rootOutBuf
 			}
 		}
 		// Clear the consumed inputs and reset the out buffer; both are
@@ -431,10 +582,20 @@ func (e *Engine) stopPool() {
 	e.startCh, e.doneCh, e.poolUp = nil, nil, false
 }
 
-// Close releases the engine's worker goroutines early. It is only needed
-// when a caller abandons an engine mid-run (the pool is released
-// automatically when a run completes, errors, or panics); the engine
-// remains usable afterwards.
+// releasePool is the end-of-run pool policy: stop the workers unless the
+// owner asked to retain them across Reset cycles (sessions). Panic unwinds
+// bypass this and always stop the pool, so an abandoned engine never leaks.
+func (e *Engine) releasePool() {
+	if !e.opts.RetainPool {
+		e.stopPool()
+	}
+}
+
+// Close releases the engine's worker goroutines. It is needed when a caller
+// abandons an engine mid-run, or owns a reusable engine (Options.RetainPool)
+// whose pool outlives individual runs. Close is idempotent and the engine
+// remains usable afterwards: the pool restarts lazily at the next parallel
+// tick.
 func (e *Engine) Close() { e.stopPool() }
 
 // stepParallel fans the pulse out across the shard workers. Shard 0 runs on
@@ -498,11 +659,11 @@ func (e *Engine) RunOne() (bool, error) {
 	}
 	if e.rootTerminated() {
 		e.done = true
-		e.stopPool()
+		e.releasePool()
 		return false, nil
 	}
 	if e.tick >= e.opts.MaxTicks {
-		e.stopPool()
+		e.releasePool()
 		return false, fmt.Errorf("%w (tick %d)", ErrMaxTicks, e.tick)
 	}
 	if e.workers > 1 {
@@ -558,7 +719,7 @@ func (e *Engine) RunOne() (bool, error) {
 
 	if !anyActive && !e.anyPending() {
 		e.done = true
-		e.stopPool()
+		e.releasePool()
 		if e.opts.StopWhenQuiescent || e.rootTerminated() {
 			return false, nil
 		}
@@ -577,10 +738,17 @@ func (e *Engine) anyPending() bool {
 	return false
 }
 
-// Run executes ticks until the root terminates, the network quiesces, or the
-// tick budget is exhausted, and returns the statistics.
+// Run executes ticks until the root terminates, the network quiesces, the
+// tick budget is exhausted, or Options.Cancel reports cancellation, and
+// returns the statistics.
 func (e *Engine) Run() (Stats, error) {
 	for {
+		if e.opts.Cancel != nil {
+			if err := e.opts.Cancel(); err != nil {
+				e.releasePool()
+				return e.stats, fmt.Errorf("sim: run cancelled at tick %d: %w", e.tick, err)
+			}
+		}
 		more, err := e.RunOne()
 		if err != nil {
 			return e.stats, err

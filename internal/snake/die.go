@@ -51,10 +51,11 @@ func (r *DieRelay) Active() bool { return r.state != dieIdle }
 // BeginTick advances pipeline ages; call exactly once per tick.
 func (r *DieRelay) BeginTick() { r.pipe.Age() }
 
-// Receive offers an arriving dying character. It returns a non-nil HeadEaten
-// when the character was consumed as this processor's head. Characters
-// arriving outside the protocol's expectations indicate a bug and panic.
-func (r *DieRelay) Receive(c Char, inPort uint8) *HeadEaten {
+// Receive offers an arriving dying character. It reports eaten when the
+// character was consumed as this processor's head (a value return: the hot
+// receive path must not heap-allocate). Characters arriving outside the
+// protocol's expectations indicate a bug and panic.
+func (r *DieRelay) Receive(c Char, inPort uint8) (ev HeadEaten, eaten bool) {
 	switch r.state {
 	case dieIdle:
 		if c.Part != wire.Head {
@@ -64,14 +65,14 @@ func (r *DieRelay) Receive(c Char, inPort uint8) *HeadEaten {
 		r.pred = inPort
 		r.succ = c.Out
 		r.promote = true
-		return &HeadEaten{Pred: inPort, Succ: c.Out, Flag: c.Flag, Payload: c.Payload}
+		return HeadEaten{Pred: inPort, Succ: c.Out, Flag: c.Flag, Payload: c.Payload}, true
 	case dieStreaming:
 		if inPort != r.pred {
 			panic("snake: dying character arrived off the marked path")
 		}
 		r.pipe.Push(c)
 	}
-	return nil
+	return HeadEaten{}, false
 }
 
 // Emit returns this tick's forwarded character and the out-port to use.
@@ -121,6 +122,7 @@ type DieConverter struct {
 	succ    uint8
 	promote bool
 	done    bool
+	armed   bool
 
 	flagMode bool
 	payload  wire.Payload
@@ -130,14 +132,38 @@ type DieConverter struct {
 	pipe Pipeline
 }
 
-// NewDieConverter returns a converter emitting through out-port succ. If
-// flagMode is set, the character preceding the tail is flagged and carries
+// NewDieConverter returns an armed converter emitting through out-port succ.
+// If flagMode is set, the character preceding the tail is flagged and carries
 // payload.
 func NewDieConverter(delay int, succ uint8, flagMode bool, payload wire.Payload) *DieConverter {
-	c := &DieConverter{delay: delay, succ: succ, promote: true, flagMode: flagMode, payload: payload}
-	c.pipe = NewPipeline(delay)
+	c := &DieConverter{}
+	c.Arm(delay, succ, flagMode, payload)
 	return c
 }
+
+// Arm (re)initialises the converter in place for a new conversion: prior
+// state is discarded, no heap allocation occurs. A processor embeds one
+// converter per role by value and re-arms it each transaction, keeping the
+// protocol's hot path allocation-free across reused runs.
+func (c *DieConverter) Arm(delay int, succ uint8, flagMode bool, payload wire.Payload) {
+	*c = DieConverter{
+		delay:    delay,
+		succ:     succ,
+		promote:  true,
+		flagMode: flagMode,
+		payload:  payload,
+		armed:    true,
+		pipe:     NewPipeline(delay),
+	}
+}
+
+// Disarm returns the converter to its idle (zero) state; Armed reports false
+// until the next Arm.
+func (c *DieConverter) Disarm() { *c = DieConverter{} }
+
+// Armed reports whether the converter currently owns a conversion (armed and
+// not yet disarmed). The zero value is unarmed.
+func (c *DieConverter) Armed() bool { return c.armed }
 
 // Busy reports whether characters remain buffered.
 func (c *DieConverter) Busy() bool { return !c.done && (c.pipe.Len() > 0 || c.lookHas) }

@@ -258,8 +258,8 @@ func TestInitiatorBabySnake(t *testing.T) {
 func TestDieRelayHeadEatsAndMarks(t *testing.T) {
 	r := NewDieRelay(Speed1Delay)
 	r.BeginTick()
-	ev := r.Receive(Char{Part: wire.Head, Out: 3, In: 1}, 2)
-	if ev == nil || ev.Pred != 2 || ev.Succ != 3 {
+	ev, eaten := r.Receive(Char{Part: wire.Head, Out: 3, In: 1}, 2)
+	if !eaten || ev.Pred != 2 || ev.Succ != 3 {
 		t.Fatalf("head must set pred=arrival port, succ=head.Out: %+v", ev)
 	}
 	// The head itself is discarded; nothing emits.
@@ -473,5 +473,75 @@ func TestCharWireRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDieConverterArmReuse: a converter re-armed in place must behave
+// exactly like a freshly constructed one, and Disarm must return it to the
+// idle zero state.
+func TestDieConverterArmReuse(t *testing.T) {
+	var c DieConverter
+	if c.Armed() {
+		t.Fatal("zero converter must be unarmed")
+	}
+	for round := 0; round < 3; round++ {
+		c.Arm(Speed1Delay, 2, false, wire.PayloadNone)
+		if !c.Armed() || c.Done() || c.Busy() {
+			t.Fatalf("round %d: armed converter in wrong state", round)
+		}
+		c.BeginTick()
+		c.Receive(Char{Part: wire.Body, Out: 1, In: 1})
+		c.BeginTick()
+		if tail := c.Receive(Char{Part: wire.Tail}); !tail {
+			t.Fatal("tail receipt must be reported")
+		}
+		var got []Char
+		for i := 0; i < 8 && !c.Done(); i++ {
+			c.BeginTick()
+			if ch, port, ok := c.Emit(); ok {
+				if port != 2 {
+					t.Fatalf("round %d: emitted through port %d", round, port)
+				}
+				got = append(got, ch)
+			}
+		}
+		if len(got) != 2 || got[0].Part != wire.Head || got[1].Part != wire.Tail {
+			t.Fatalf("round %d: conversion emitted %v", round, got)
+		}
+		if !c.Done() {
+			t.Fatalf("round %d: conversion incomplete", round)
+		}
+	}
+	c.Disarm()
+	if c.Armed() || c.Busy() {
+		t.Fatal("disarmed converter must be idle")
+	}
+}
+
+// TestDieConverterArmFlagReuse re-arms in flag mode and checks the payload
+// flag lands on the character preceding the tail, round after round.
+func TestDieConverterArmFlagReuse(t *testing.T) {
+	var c DieConverter
+	for round := 0; round < 2; round++ {
+		c.Arm(Speed3Delay, 1, true, wire.PayloadPing)
+		c.BeginTick()
+		c.Receive(Char{Part: wire.Body, Out: 1, In: 2})
+		c.BeginTick()
+		c.Receive(Char{Part: wire.Body, Out: 2, In: 1})
+		c.BeginTick()
+		c.Receive(Char{Part: wire.Tail})
+		var got []Char
+		for i := 0; i < 8 && !c.Done(); i++ {
+			if ch, _, ok := c.Emit(); ok {
+				got = append(got, ch)
+			}
+			c.BeginTick()
+		}
+		if len(got) != 3 {
+			t.Fatalf("round %d: emitted %d characters", round, len(got))
+		}
+		if got[0].Flag || got[2].Flag || !got[1].Flag || got[1].Payload != wire.PayloadPing {
+			t.Fatalf("round %d: flag misplace: %v", round, got)
+		}
 	}
 }

@@ -13,6 +13,11 @@
 //   - Map, which runs the Global Topology Determination protocol on a
 //     simulated network and reconstructs the topology from the root's I/O
 //     transcript alone,
+//   - NewSession and MapBatch, the many-runs layer: a Session reuses the
+//     engine, automata, and decoder across sequential runs (near-zero
+//     steady-state allocation), and MapBatch maps many graphs concurrently
+//     over a bounded session pool with results in input order and
+//     context cancellation,
 //   - the paper's auxiliary primitives as standalone operations:
 //     SendBackward (the Backwards Communication Algorithm — deliver a
 //     constant-size message against the direction of an edge) and
@@ -43,12 +48,16 @@
 //
 // The simulation substrate, snake/token data structures, protocol automaton
 // and transcript decoder live in internal packages; see DESIGN.md for the
-// architecture and the §4 experiment catalogue (E1–E12) reproducing every
+// architecture and the §4 experiment catalogue (E1–E13) reproducing every
 // quantitative claim in the paper.
 package topomap
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"topomap/internal/core"
 	"topomap/internal/graph"
@@ -216,4 +225,191 @@ func Map(g *Graph, opts Options) (*Result, error) {
 // g anchored at root (mapped's root is node 0).
 func Verify(g *Graph, root int, mapped *Graph) bool {
 	return g.IsomorphicFrom(root, mapped, 0)
+}
+
+// Session is a reusable mapping context: the simulation engine, the automata,
+// the wire buffers, and the transcript decoder are reset in place between
+// Map calls instead of being reallocated, and the engine's parallel worker
+// pool stays parked between runs. Ensemble studies and family sweeps that
+// map thousands of graphs should prefer a Session (or MapBatch) over
+// repeated Map calls: the steady state allocates almost nothing per run.
+//
+// The determinism guarantee extends verbatim to reuse — a reused session
+// produces bit-identical transcripts, reconstructions, and statistics to a
+// fresh engine, for every graph and worker count (tested).
+//
+// A Session maps one graph at a time and is not safe for concurrent use;
+// run one session per goroutine (MapBatch does exactly that). Call Close
+// when done to release the engine's worker pool.
+type Session struct {
+	inner *core.Session
+}
+
+// NewSession prepares a reusable mapping context with the given options
+// (fixed for the session's lifetime). No resources are acquired until the
+// first Map call.
+func NewSession(opts Options) *Session {
+	cfg := opts.config()
+	return &Session{inner: core.NewSession(core.Options{
+		Root:     opts.Root,
+		MaxTicks: opts.MaxTicks,
+		Validate: opts.Validate,
+		Workers:  opts.Workers,
+		Config:   &cfg,
+	})}
+}
+
+// Map runs the protocol on g, reusing the session's engine state. It is
+// equivalent to topomap.Map with the session's options.
+func (s *Session) Map(g *Graph) (*Result, error) {
+	return s.finish(s.inner.Run(g))
+}
+
+// MapContext is Map with cancellation: the engine polls ctx between global
+// clock ticks and aborts promptly (errors.Is(err, ctx.Err()) reports true).
+// The session remains reusable after a cancelled run.
+func (s *Session) MapContext(ctx context.Context, g *Graph) (*Result, error) {
+	return s.finish(s.inner.RunContext(ctx, g))
+}
+
+func (s *Session) finish(res *core.RunResult, err error) (*Result, error) {
+	if err != nil {
+		return nil, fmt.Errorf("topomap: %w", err)
+	}
+	return &Result{
+		Topology:     res.Topology,
+		Ticks:        res.Stats.Ticks,
+		Messages:     res.Stats.NonBlankMessages,
+		Transactions: res.Transactions,
+	}, nil
+}
+
+// Close releases the session's engine worker pool. It is idempotent, and a
+// closed session may keep mapping (the pool restarts lazily).
+func (s *Session) Close() { s.inner.Close() }
+
+// BatchOptions configures MapBatch.
+type BatchOptions struct {
+	// Options apply to every run of the batch. Workers is the per-run
+	// engine parallelism; batches usually leave it at 1 and scale through
+	// Sessions instead, since run-level concurrency has no fan-out
+	// barrier per tick.
+	Options
+	// Sessions is the number of concurrent mapping sessions (the bounded
+	// worker pool of the batch). 0 uses runtime.GOMAXPROCS(0); the pool
+	// never exceeds the number of graphs.
+	Sessions int
+	// StopOnError makes the first failing graph (in input order) cancel
+	// the rest of the batch; MapBatch then returns that error. The
+	// default records failures per item and keeps going.
+	StopOnError bool
+}
+
+// BatchItem is the outcome of one graph of a batch: exactly one of Result
+// and Err is non-nil (for graphs skipped after cancellation, Err is the
+// context's error).
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// MapBatch maps many graphs concurrently over a bounded pool of reusable
+// sessions and returns one BatchItem per input graph, in input order. Every
+// graph is mapped with the same options, each by a single session at a time,
+// so per-graph results are identical to sequential Map calls — the pool size
+// changes wall-clock time only, never a result bit.
+//
+// Cancelling ctx aborts in-flight runs between clock ticks and marks every
+// unfinished item with the context's error; all session pools are released
+// before MapBatch returns. The returned error is non-nil only for a
+// cancelled context or, with StopOnError, the first (lowest-index) item
+// error; per-item failures otherwise leave it nil.
+func MapBatch(ctx context.Context, graphs []*Graph, opts BatchOptions) ([]BatchItem, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	items := make([]BatchItem, len(graphs))
+	if len(graphs) == 0 {
+		return items, ctx.Err()
+	}
+	sessions := opts.Sessions
+	if sessions <= 0 {
+		sessions = runtime.GOMAXPROCS(0)
+	}
+	if sessions > len(graphs) {
+		sessions = len(graphs)
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		next     int // index of the next unclaimed graph
+		firstErr error
+		firstIdx = len(graphs)
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(graphs) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	recordErr := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewSession(opts.Options)
+			defer s.Close()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					items[i] = BatchItem{Err: err}
+					continue
+				}
+				res, err := s.MapContext(ctx, graphs[i])
+				items[i] = BatchItem{Result: res, Err: err}
+				if err != nil {
+					// Cancellation artifacts — in-flight runs aborted
+					// because the parent context died or StopOnError
+					// already fired — are recorded per item but must
+					// not claim the first-error slot, or an aborted
+					// lower-index run would mask the causal failure.
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+						recordErr(i, err)
+						if opts.StopOnError {
+							cancel()
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := parent.Err(); err != nil {
+		// The caller's context was cancelled or timed out.
+		return items, err
+	}
+	if opts.StopOnError && firstErr != nil {
+		return items, fmt.Errorf("topomap: batch graph %d: %w", firstIdx, firstErr)
+	}
+	return items, nil
 }
