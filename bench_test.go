@@ -43,6 +43,7 @@ func BenchmarkE10SpeedAblation(b *testing.B)   { benchExperiment(b, "e10") }
 func BenchmarkE11Families(b *testing.B)        { benchExperiment(b, "e11") }
 func BenchmarkE12Pigeonhole(b *testing.B)      { benchExperiment(b, "e12") }
 func BenchmarkE13Batch(b *testing.B)           { benchExperiment(b, "e13") }
+func BenchmarkE14Frontier(b *testing.B)        { benchExperiment(b, "e14") }
 
 // Session-reuse benchmarks: the fresh/reused pair quantifies the session
 // refactor's allocation claim (run with -benchmem; the reused steady state

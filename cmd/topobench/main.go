@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	topobench [-full] [-workers n] [-sessions n] [experiment ids...]
+//	topobench [-full] [-workers n] [-sessions n] [-json] [experiment ids...]
 //	topobench -list
 //
 // With no ids, every experiment runs in order. -workers caps the engine
@@ -14,12 +14,16 @@
 // the cap and everything else simply runs faster with more cores.
 // -sessions caps the session-pool sweep of the E13 batch-throughput
 // experiment (0 sweeps pool sizes 1/2/4/8); results are likewise identical
-// at any pool size.
+// at any pool size. -json additionally writes each experiment's table to
+// BENCH_<ID>.json in the working directory, so the performance trajectory
+// can be tracked machine-readably across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -28,25 +32,37 @@ import (
 )
 
 func main() {
-	full := flag.Bool("full", false, "run the full-size experiment sweeps (slower)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	workers := flag.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS, 1 = sequential)")
-	sessions := flag.Int("sessions", 0, "session-pool cap for the E13 batch sweep (0 = sweep 1/2/4/8)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: topobench [-full] [-workers n] [-sessions n] [experiment ids...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), " "))
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: parse flags, execute the
+// selected experiments, render tables (and JSON files with -json), and
+// return the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "run the full-size experiment sweeps (slower)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	workers := fs.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS, 1 = sequential)")
+	sessions := fs.Int("sessions", 0, "session-pool cap for the E13 batch sweep (0 = sweep 1/2/4/8)")
+	jsonOut := fs.Bool("json", false, "also write each experiment's table to BENCH_<ID>.json")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: topobench [-full] [-workers n] [-sessions n] [-json] [experiment ids...]\n")
+		fmt.Fprintf(stderr, "experiments: %s\n", strings.Join(experiments.IDs(), " "))
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
@@ -59,23 +75,43 @@ func main() {
 
 	failed := false
 	for _, id := range ids {
-		run, ok := experiments.Get(strings.ToLower(id))
+		id = strings.ToLower(id)
+		runExp, ok := experiments.Get(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "topobench: unknown experiment %q (try -list)\n", id)
+			fmt.Fprintf(stderr, "topobench: unknown experiment %q (try -list)\n", id)
 			failed = true
 			continue
 		}
 		start := time.Now()
-		table, err := run(scale)
+		table, err := runExp(scale)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "topobench: %s failed: %v\n", id, err)
+			fmt.Fprintf(stderr, "topobench: %s failed: %v\n", id, err)
 			failed = true
 			continue
 		}
-		fmt.Print(table.String())
-		fmt.Printf("(%s in %v)\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(stdout, table.String())
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+		if *jsonOut {
+			if err := writeJSON(table); err != nil {
+				fmt.Fprintf(stderr, "topobench: %s: %v\n", id, err)
+				failed = true
+			}
+		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeJSON serialises one experiment's table to BENCH_<ID>.json in the
+// working directory: the machine-readable record a perf-tracking harness
+// diffs across commits.
+func writeJSON(table *experiments.Table) error {
+	data, err := json.MarshalIndent(table, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", strings.ToUpper(table.ID))
+	return os.WriteFile(name, append(data, '\n'), 0o644)
 }

@@ -12,39 +12,55 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"topomap/internal/graph"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command; it returns the process exit
+// code (0 success, 1 failure, 2 flag errors).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		family = flag.String("family", "random", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop)")
-		n      = flag.Int("n", 20, "approximate node count")
-		delta  = flag.Int("delta", 3, "degree bound (random family)")
-		m      = flag.Int("m", 0, "edge target (random family; 0 = 2n)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("out", "", "output file (default stdout)")
-		in     = flag.String("in", "", "with -check: file to validate")
-		check  = flag.Bool("check", false, "validate a graph file and print its parameters")
+		family = fs.String("family", "random", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop)")
+		n      = fs.Int("n", 20, "approximate node count")
+		delta  = fs.Int("delta", 3, "degree bound (random family)")
+		m      = fs.Int("m", 0, "edge target (random family; 0 = 2n)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		out    = fs.String("out", "", "output file (default stdout)")
+		in     = fs.String("in", "", "with -check: file to validate")
+		check  = fs.Bool("check", false, "validate a graph file and print its parameters")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatal := func(err error) int {
+		fmt.Fprintf(stderr, "topogen: %v\n", err)
+		return 1
+	}
 
 	if *check {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer f.Close()
 		g, err := graph.Unmarshal(f)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if err := g.Validate(); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Printf("valid: N=%d δ=%d edges=%d diameter=%d\n", g.N(), g.Delta(), g.NumEdges(), g.Diameter())
-		return
+		fmt.Fprintf(stdout, "valid: N=%d δ=%d edges=%d diameter=%d\n", g.N(), g.Delta(), g.NumEdges(), g.Diameter())
+		return 0
 	}
 
 	var g *graph.Graph
@@ -58,18 +74,18 @@ func main() {
 	} else {
 		g, err = graph.Build(graph.Family(*family), *n, *seed)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 	if err := g.Validate(); err != nil {
-		fatal(fmt.Errorf("generated graph invalid: %w", err))
+		return fatal(fmt.Errorf("generated graph invalid: %w", err))
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer f.Close()
 		w = f
@@ -77,11 +93,7 @@ func main() {
 	fmt.Fprintf(w, "# %s n=%d seed=%d: N=%d delta=%d edges=%d diameter=%d\n",
 		*family, *n, *seed, g.N(), g.Delta(), g.NumEdges(), g.Diameter())
 	if err := g.Marshal(w); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
-	os.Exit(1)
+	return 0
 }

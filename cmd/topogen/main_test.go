@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGenerateAndCheckRoundTrip: generate a graph to a file, then validate
+// it with -check — the CLI's two halves against each other.
+func TestGenerateAndCheckRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "kautz", "-n", "12", "-out", path}, &out, &errOut); code != 0 {
+		t.Fatalf("generate exit code %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# kautz") {
+		t.Fatalf("missing header comment:\n%s", data)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check", "-in", path}, &out, &errOut); code != 0 {
+		t.Fatalf("-check exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "valid:") {
+		t.Fatalf("-check output missing verdict:\n%s", out.String())
+	}
+}
+
+// TestGenerateToStdout: without -out the graph goes to stdout.
+func TestGenerateToStdout(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "ring", "-n", "5"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "# ring") {
+		t.Fatalf("stdout missing graph:\n%s", out.String())
+	}
+}
+
+// TestCheckMissingFile: a bad -in path is a clean failure.
+func TestCheckMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-check", "-in", filepath.Join(t.TempDir(), "absent.txt")}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file should exit 1, got %d", code)
+	}
+}
+
+// TestGenBadFlag: flag-parse errors exit 2.
+func TestGenBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}

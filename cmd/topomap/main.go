@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"topomap"
@@ -25,27 +26,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command; it returns the process exit
+// code (0 success, 1 failure/mismatch, 2 flag errors).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topomap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		family  = flag.String("family", "torus", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop)")
-		n       = flag.Int("n", 20, "approximate node count for the family")
-		seed    = flag.Int64("seed", 1, "seed for random families")
-		in      = flag.String("in", "", "read the graph from this file instead of generating one")
-		root    = flag.Int("root", 0, "root processor index")
-		dot     = flag.String("dot", "", "write the mapped topology as Graphviz dot to this file")
-		showTr  = flag.Bool("trace", false, "print the protocol event timeline")
-		stats   = flag.Bool("stats", false, "print run statistics")
-		edges   = flag.Bool("edges", false, "print the mapped edge list")
-		maxTick = flag.Int("maxticks", 0, "tick budget (0 = automatic)")
-		workers = flag.Int("workers", 0, "engine workers per tick (0 = GOMAXPROCS, 1 = sequential; -trace forces 1)")
+		family  = fs.String("family", "torus", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop)")
+		n       = fs.Int("n", 20, "approximate node count for the family")
+		seed    = fs.Int64("seed", 1, "seed for random families")
+		in      = fs.String("in", "", "read the graph from this file instead of generating one")
+		root    = fs.Int("root", 0, "root processor index")
+		dot     = fs.String("dot", "", "write the mapped topology as Graphviz dot to this file")
+		showTr  = fs.Bool("trace", false, "print the protocol event timeline")
+		stats   = fs.Bool("stats", false, "print run statistics")
+		edges   = fs.Bool("edges", false, "print the mapped edge list")
+		maxTick = fs.Int("maxticks", 0, "tick budget (0 = automatic)")
+		workers = fs.Int("workers", 0, "engine workers per tick (0 = GOMAXPROCS, 1 = sequential; -trace forces 1)")
+		dense   = fs.Bool("dense", false, "disable sparse frontier scheduling (dense reference sweep; identical results, O(N) slower ticks)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatal := func(err error) int {
+		fmt.Fprintf(stderr, "topomap: %v\n", err)
+		return 1
+	}
 
 	g, err := loadGraph(*in, *family, *n, *seed)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if err := g.Validate(); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	// Run with the mapper attached; optionally trace events.
@@ -59,7 +76,7 @@ func main() {
 		// Parallel workers may reorder same-tick events in the timeline;
 		// a trace should replay identically run to run.
 		if *workers != 1 {
-			fmt.Fprintln(os.Stderr, "topomap: -trace forces -workers 1 for a replayable timeline")
+			fmt.Fprintln(stderr, "topomap: -trace forces -workers 1 for a replayable timeline")
 			*workers = 1
 		}
 	}
@@ -67,59 +84,62 @@ func main() {
 		Root:       *root,
 		MaxTicks:   *maxTick,
 		Workers:    *workers,
+		Naive:      *dense,
 		Transcript: m.Process,
 	}, gtd.NewFactory(cfg))
 	st, err := eng.Run()
 	if err != nil {
-		fatal(fmt.Errorf("protocol run failed: %w", err))
+		return fatal(fmt.Errorf("protocol run failed: %w", err))
 	}
 	mapped, err := m.Finish()
 	if err != nil {
-		fatal(fmt.Errorf("transcript decoding failed: %w", err))
+		return fatal(fmt.Errorf("transcript decoding failed: %w", err))
 	}
 
 	exact := topomap.Verify(g, *root, mapped)
-	fmt.Printf("network: N=%d δ=%d edges=%d diameter=%d root=%d\n",
+	fmt.Fprintf(stdout, "network: N=%d δ=%d edges=%d diameter=%d root=%d\n",
 		g.N(), g.Delta(), g.NumEdges(), g.Diameter(), *root)
-	fmt.Printf("mapped:  N=%d edges=%d in %d ticks, %d messages, %d transactions\n",
+	fmt.Fprintf(stdout, "mapped:  N=%d edges=%d in %d ticks, %d messages, %d transactions\n",
 		mapped.N(), mapped.NumEdges(), st.Ticks, st.NonBlankMessages, m.Transactions)
 	if exact {
-		fmt.Println("verify:  EXACT — the reconstruction is port-preserving isomorphic to the truth")
+		fmt.Fprintln(stdout, "verify:  EXACT — the reconstruction is port-preserving isomorphic to the truth")
 	} else {
-		fmt.Println("verify:  MISMATCH")
+		fmt.Fprintln(stdout, "verify:  MISMATCH")
 	}
 
 	if *stats {
 		nd := g.N() * g.Diameter()
-		fmt.Printf("stats:   ticks/(N·D)=%.2f  steps=%d  peak-active=%d\n",
-			float64(st.Ticks)/float64(nd), st.StepCalls, st.MaxActive)
+		fmt.Fprintf(stdout, "stats:   ticks/(N·D)=%.2f  steps=%d  steps/tick=%.2f  peak-active=%d\n",
+			float64(st.Ticks)/float64(nd), st.StepCalls,
+			float64(st.StepCalls)/float64(st.Ticks), st.MaxActive)
 	}
 	if *edges {
 		for _, e := range mapped.Edges() {
-			fmt.Printf("edge %d:%d -> %d:%d\n", e.From, e.OutPort, e.To, e.InPort)
+			fmt.Fprintf(stdout, "edge %d:%d -> %d:%d\n", e.From, e.OutPort, e.To, e.InPort)
 		}
 	}
 	if *showTr {
-		if err := tr.Dump(os.Stdout); err != nil {
-			fatal(err)
+		if err := tr.Dump(stdout); err != nil {
+			return fatal(err)
 		}
 	}
 	if *dot != "" {
 		f, err := os.Create(*dot)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if _, err := f.WriteString(mapped.DOT("mapped", 0)); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *dot)
+		fmt.Fprintf(stdout, "wrote %s\n", *dot)
 	}
 	if !exact {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func loadGraph(path, family string, n int, seed int64) (*graph.Graph, error) {
@@ -132,9 +152,4 @@ func loadGraph(path, family string, n int, seed int64) (*graph.Graph, error) {
 		return graph.Unmarshal(f)
 	}
 	return graph.Build(graph.Family(family), n, seed)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "topomap: %v\n", err)
-	os.Exit(1)
 }

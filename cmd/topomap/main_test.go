@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMapRingEndToEnd: a tiny full protocol run through the CLI surface,
+// checking the verification verdict, statistics, and edge output.
+func TestMapRingEndToEnd(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-family", "ring", "-n", "8", "-workers", "1", "-stats", "-edges"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"verify:  EXACT", "stats:", "steps/tick=", "edge "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestMapDenseMatchesSparse: the -dense reference sweep must report the
+// same tick/message counts as the default frontier scheduler.
+func TestMapDenseMatchesSparse(t *testing.T) {
+	line := func(args ...string) string {
+		t.Helper()
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+		}
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(l, "mapped:") {
+				return l
+			}
+		}
+		t.Fatal("no mapped: line")
+		return ""
+	}
+	sparse := line("-family", "torus", "-n", "12", "-workers", "1")
+	dense := line("-family", "torus", "-n", "12", "-workers", "1", "-dense")
+	if sparse != dense {
+		t.Fatalf("dense run diverges:\nsparse: %s\ndense:  %s", sparse, dense)
+	}
+}
+
+// TestMapDotOutput: -dot writes a Graphviz file.
+func TestMapDotOutput(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "mapped.dot")
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "ring", "-n", "6", "-workers", "1", "-dot", dot}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatalf("not a dot file:\n%s", data)
+	}
+}
+
+// TestMapBadFamily: generator failures surface as exit 1 with a message.
+func TestMapBadFamily(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "nosuch", "-n", "8"}, &out, &errOut); code != 1 {
+		t.Fatalf("bad family should exit 1, got %d", code)
+	}
+	if errOut.Len() == 0 {
+		t.Fatal("expected a diagnostic on stderr")
+	}
+}
+
+// TestMapBadFlag: flag-parse errors exit 2.
+func TestMapBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}

@@ -35,6 +35,11 @@ type Options struct {
 	// Workers is the engine's per-tick worker count (0 = GOMAXPROCS,
 	// 1 = sequential); any value yields the identical transcript.
 	Workers int
+	// Dense disables the engine's sparse frontier scheduler: every
+	// processor steps every tick (sim.Options.Naive). The run is
+	// observationally identical and O(N) slower per tick — it exists for
+	// the dense-vs-sparse equivalence harness (E14) and debugging.
+	Dense bool
 	// Config overrides the paper's speed assignment; nil uses defaults.
 	Config *gtd.Config
 	// Observers are attached to the engine (instrumentation).
@@ -125,6 +130,7 @@ func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult
 			MaxTicks:   s.opts.MaxTicks,
 			Validate:   s.opts.Validate,
 			Workers:    s.opts.Workers,
+			Naive:      s.opts.Dense,
 			Transcript: s.m.Process,
 			Observers:  s.opts.Observers,
 			RetainPool: true,

@@ -132,6 +132,7 @@ var registry = []struct {
 	{"e11", E11DiameterFamilies},
 	{"e12", E12Pigeonhole},
 	{"e13", E13BatchThroughput},
+	{"e14", E14FrontierScheduler},
 }
 
 // IDs lists experiment identifiers in order.

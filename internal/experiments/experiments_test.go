@@ -135,6 +135,22 @@ func checkInvariants(t *testing.T, id string, table *Table) {
 				t.Errorf("E12 transcript collision: %v", row)
 			}
 		}
+	case "e14":
+		// Dense and sparse scheduling must be observationally identical
+		// on every row, and at N=1024 the sparse scheduler must examine
+		// ≥10× fewer nodes per tick than the dense sweep (the PR's
+		// acceptance criterion).
+		id, n, r := col(table, "identical"), col(table, "N"), col(table, "it ratio")
+		for _, row := range table.Rows {
+			if row[id] != "yes" {
+				t.Errorf("E14 dense/sparse divergence: %v", row)
+			}
+			if row[n] == "1024" {
+				if v, _ := strconv.ParseFloat(row[r], 64); v < 10 {
+					t.Errorf("E14 N=1024 iteration ratio %.1f < 10: %v", v, row)
+				}
+			}
+		}
 	}
 }
 

@@ -24,7 +24,7 @@ func E9Throughput(s Scale) (*Table, error) {
 		ID:      "E9",
 		Title:   "Simulator throughput (engineering)",
 		Claim:   "substrate: the lockstep engine sustains millions of processor-steps per second, and the sharded parallel tick scales it across cores without changing a single transcript bit",
-		Columns: []string{"family", "N", "workers", "ticks", "steps", "wall ms", "steps/s (M)", "speedup"},
+		Columns: []string{"family", "N", "workers", "ticks", "steps", "steps/tick", "wall ms", "steps/s (M)", "speedup"},
 	}
 	type c struct {
 		fam graph.Family
@@ -73,13 +73,16 @@ func E9Throughput(s Scale) (*Table, error) {
 					cs.fam, workers, stats.Ticks, baseTicks, stats.StepCalls, baseSteps)
 			}
 			t.Rows = append(t.Rows, []string{string(cs.fam), fmtI(g.N()), fmtI(workers),
-				fmtI(stats.Ticks), fmtI64(stats.StepCalls), fmtF(float64(el.Milliseconds())),
+				fmtI(stats.Ticks), fmtI64(stats.StepCalls),
+				fmtF(float64(stats.StepCalls) / float64(stats.Ticks)),
+				fmtF(float64(el.Milliseconds())),
 				fmtF(float64(stats.StepCalls) / secs / 1e6),
 				fmtF(base / secs)})
 		}
 	}
 	t.Notes = append(t.Notes,
 		"steps counts automaton Step calls actually executed (idle processors are skipped)",
+		"steps/tick is the frontier scheduler's per-tick work; compare against N for the dense sweep's cost (E14 makes the comparison explicit)",
 		"speedup is sequential wall time / this row's wall time on the identical run; the sweep is bounded by GOMAXPROCS (override with topobench -workers)")
 	return t, nil
 }

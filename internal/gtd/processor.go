@@ -249,7 +249,26 @@ func NewFactory(cfg Config) func(sim.NodeInfo) sim.Automaton {
 // Terminated reports whether the root has entered its terminal state.
 func (p *Processor) Terminated() bool { return p.terminated }
 
-// Busy reports whether the processor may act without input this tick.
+// Busy reports whether the processor may act without input this tick. It
+// implements the tightened sim.Automaton contract the engine's sparse
+// frontier scheduler depends on:
+//
+//   - it is a pure function of the processor's state (no clocks, no
+//     randomness, no engine queries), so the engine may evaluate it at any
+//     point between ticks and always get the same answer;
+//   - that state changes only inside Step or through the documented
+//     pre-run arming calls (Reset, StartRCA, StartBCA — mid-run arming
+//     additionally requires sim.Engine.Wake, see its doc);
+//   - when it reports false, a Step fed only blanks is a state-preserving
+//     no-op that emits only blanks (asserted by TestQuiescentStepIsNoop
+//     and, end to end, by the dense-vs-sparse equivalence suite).
+//
+// The disjuncts below enumerate every source of spontaneous activity:
+// pending kicks, running snake initiators, non-empty relay pipelines,
+// armed but unfinished converters, decaying loop marks, and a KILL token
+// still held for its residual delay. A construct missing from this list
+// would stall under sparse scheduling the moment it tried to act from a
+// tick with no incoming symbol.
 func (p *Processor) Busy() bool {
 	if p.rootKick || p.pendingKick != kickNone {
 		return true

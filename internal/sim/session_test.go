@@ -225,11 +225,29 @@ func TestResetCancel(t *testing.T) {
 	}
 }
 
+// settledGoroutines waits for the runtime goroutine count to stop falling
+// and returns it: worker pools released by earlier tests in the package
+// exit asynchronously after stopPool closes their start channels, and a
+// baseline sampled while they drain would be inflated.
+func settledGoroutines() int {
+	n := runtime.NumGoroutine()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		m := runtime.NumGoroutine()
+		if m == n {
+			return n
+		}
+		n = m
+	}
+	return n
+}
+
 // TestRetainPoolLifecycle checks that RetainPool keeps workers parked
 // across runs and that Close (idempotently) releases them.
 func TestRetainPoolLifecycle(t *testing.T) {
 	g := graph.Torus(5, 5)
-	before := runtime.NumGoroutine()
+	before := settledGoroutines()
 	var rec transcriptRecorder
 	eng := newRecordedEngine(g, 4, &rec)
 	_ = rec.finish(t, eng)

@@ -5,31 +5,47 @@
 // Quiescent processors emit the blank character (the zero wire.Message).
 //
 // The engine is deterministic: given the same graph and automata it produces
-// the same transcript every run. An activity tracker skips processors that
-// are idle and received only blanks; a naive mode steps every processor every
-// tick, and the two are tested to produce identical transcripts.
+// the same transcript every run.
+//
+// # Sparse frontier scheduling
+//
+// Goldstein's protocol keeps only a handful of processors non-quiescent per
+// pulse (§2, Lemma 4.4: per-pulse activity is bounded by transaction
+// structure, not network size), so the engine schedules each tick from a
+// sparse frontier rather than sweeping all N nodes. The tick-t frontier is
+// exactly the processors that may act at t: those holding a symbol delivered
+// at t-1 plus those stepped at t-1 that still report Busy(). It is
+// maintained incrementally — a delivery to dst enqueues dst for t+1, a
+// stepped node re-enqueues itself while busy, both deduplicated by per-node
+// epoch stamps — so a tick costs O(active), not O(N): stepping, MaxActive
+// tracking, and the quiescence check all touch only frontier nodes. A naive
+// mode steps every processor every tick (the dense reference path), and the
+// two are tested to produce identical transcripts, statistics, and failures.
 //
 // # Parallel execution
 //
 // A pulse of the paper's model is embarrassingly parallel by construction:
 // within one tick every processor reads only the symbols delivered at tick t
 // and writes only symbols to be delivered at tick t+1. The engine exploits
-// this with a sharded tick: the node set is split into contiguous shards,
-// one worker goroutine steps each shard, and wire state is double-buffered
-// so all reads see tick t while all writes target tick t+1. Because every
-// in-port has exactly one incoming wire, no two processors ever write the
-// same buffer element; the only shared write (the per-node "symbol pending"
-// flag) is an idempotent atomic store. Per-shard statistics are merged in
-// shard-index order after the barrier, so the transcript, the statistics,
-// and every observable of a run are bit-identical to the sequential engine
-// regardless of Options.Workers. The equivalence is enforced by tests across
-// graph families, seeds, and worker counts.
+// this with a sharded tick: the frontier (kept in ascending node order) is
+// split into contiguous shards, one worker goroutine steps each shard, and
+// wire state is double-buffered so all reads see tick t while all writes
+// target tick t+1. Because every in-port has exactly one incoming wire, no
+// two processors ever write the same buffer element; the only shared writes
+// (the per-node delivery stamp and the frontier-enqueue stamp) are
+// compare-and-swap races whose single winner performs the bookkeeping.
+// Per-shard statistics and frontier appends are merged in shard-index order
+// after the barrier and the merged frontier is sorted, so the transcript,
+// the statistics, and every observable of a run are bit-identical to the
+// sequential engine regardless of Options.Workers. The equivalence is
+// enforced by tests across graph families, seeds, and worker counts.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync/atomic"
 
 	"topomap/internal/graph"
@@ -65,9 +81,26 @@ type Automaton interface {
 	Step(in []wire.Message, out []wire.Message)
 	// Busy reports whether the processor may change state or emit a
 	// non-blank symbol even if every in-port reads blank. A processor
-	// that is not busy and receives only blanks is skipped by the
-	// activity tracker; by contract its Step would have been a no-op
+	// that is not busy and receives only blanks is skipped by the sparse
+	// frontier scheduler; by contract its Step would have been a no-op
 	// emitting blanks.
+	//
+	// The frontier scheduler relies on a strict contract here:
+	//
+	//  1. Busy must be a pure, deterministic function of the automaton's
+	//     state — no clocks, randomness, or I/O.
+	//  2. That state may change only inside Step. The engine reads Busy
+	//     immediately after a node's Step to decide whether to schedule
+	//     it for the next tick; a processor whose busyness could flip
+	//     between ticks without being stepped would silently stall under
+	//     sparse scheduling (the dense Naive mode would still catch it —
+	//     the equivalence suite exists to detect exactly this class of
+	//     bug). External arming of an automaton (e.g. gtd.StartRCA) is
+	//     legal only before the run's first tick, or between ticks when
+	//     paired with Engine.Wake.
+	//  3. A processor that is not busy and is stepped with all-blank
+	//     inputs must leave its state unchanged and emit only blanks, so
+	//     skipping that step is unobservable.
 	Busy() bool
 }
 
@@ -108,8 +141,10 @@ type Options struct {
 	// without an extra pass); callers running experiments set it
 	// explicitly.
 	MaxTicks int
-	// Naive disables activity tracking: every processor steps every
-	// tick. Used by tests to validate the tracker.
+	// Naive disables sparse frontier scheduling: every processor steps
+	// every tick and the quiescence check sweeps all nodes. It is the
+	// dense reference path used by tests and E14 to validate the
+	// frontier scheduler.
 	Naive bool
 	// Validate runs wire.Message.Validate on every emitted symbol and
 	// panics on violation (debug mode).
@@ -130,11 +165,11 @@ type Options struct {
 	// statistics; ticks with too few active processors to amortise the
 	// fan-out run sequentially regardless.
 	Workers int
-	// ParallelThreshold overrides the minimum predicted per-tick work
-	// (processors with a pending symbol, or stepped on the previous
-	// tick) required to fan a pulse out across the workers (default
-	// max(4·Workers, 16)). Equivalence tests and the E9/E10 sweeps set
-	// it to 1 to force the parallel path; 0 keeps the default.
+	// ParallelThreshold overrides the minimum per-tick work (the
+	// frontier size; all N nodes in Naive mode) required to fan a pulse
+	// out across the workers (default max(4·Workers, 16)). Equivalence
+	// tests and the E9/E10 sweeps set it to 1 to force the parallel
+	// path; 0 keeps the default.
 	ParallelThreshold int
 	// RetainPool keeps the parked worker pool alive when a run finishes
 	// instead of releasing it, so an engine reused via Reset skips the
@@ -158,8 +193,8 @@ type Stats struct {
 
 // Engine executes a network of automata in lockstep over a graph. An engine
 // is reusable: Reset re-targets it at a new graph (or the same one) while
-// recycling every node, wire, and shard buffer, so steady-state reruns
-// allocate nothing in the engine layer.
+// recycling every node, wire, shard, and frontier buffer, so steady-state
+// reruns allocate nothing in the engine layer.
 type Engine struct {
 	g       *graph.Graph
 	opts    Options
@@ -168,6 +203,8 @@ type Engine struct {
 	// node count, so Reset recomputes it for the new graph.
 	autoMaxTicks bool
 	procs        []Automaton
+	delta        int
+	sparse       bool // frontier scheduling (== !opts.Naive)
 
 	// Routing tables: for node v, out-port p (0-based), route[v][p] gives
 	// the destination node and 0-based in-port, or node -1. Rows are
@@ -185,8 +222,38 @@ type Engine struct {
 	// automata (two planes of n·δ); rewritten in place on Reset.
 	wiredFlat []bool
 
-	hasIn   []uint32 // node received a non-blank symbol this tick
-	nextHas []uint32 // written concurrently by workers (atomic, idempotent)
+	// Epoch-stamped activity planes. A node's entry equals the current
+	// epoch exactly when the condition holds for the tick in flight, so
+	// none of them is ever cleared between ticks:
+	//
+	//   hasStamp[v] == epoch      v holds a symbol delivered last tick
+	//   nextHasStamp[v] == epoch+1  v was delivered a symbol this tick
+	//                               (plane-swapped with hasStamp per tick;
+	//                               the CAS winner counts v once for the
+	//                               tick's live total)
+	//   enqStamp[v] == epoch+1    v is already enqueued on the next
+	//                             frontier (single plane: epoch values
+	//                             written to it strictly increase, so a
+	//                             stale mark never matches)
+	//
+	// nextHasStamp and enqStamp are written concurrently by workers via
+	// compare-and-swap; exactly one winner per (node, tick) does the
+	// bookkeeping.
+	hasStamp     []uint64
+	nextHasStamp []uint64
+	enqStamp     []uint64
+	epoch        uint64
+
+	// The double-buffered frontier: frontier lists the nodes to step this
+	// tick in ascending order; frontierNext accumulates next tick's
+	// (merged from per-shard buffers after the barrier, then sorted).
+	frontier     []int32
+	frontierNext []int32
+	// seeded records that the initial frontier — every processor that
+	// reports Busy() before the first tick — has been collected. Seeding
+	// is deferred to the first tick so automata may be armed (e.g.
+	// gtd.StartRCA) between construction and Run.
+	seeded bool
 
 	// Root transcript capture for the tick in flight; only the worker
 	// owning the root's shard writes rootIn/rootOut, which alias the
@@ -196,11 +263,10 @@ type Engine struct {
 	rootInBuf  []wire.Message
 	rootOutBuf []wire.Message
 
-	workers  int     // resolved worker count (≥ 1)
-	parMin   int     // minimum per-tick work to dispatch in parallel
-	lastLive int     // nodes entering the current tick with a pending symbol
-	lastWork int     // processors stepped during the previous tick
-	shards   []shard // one per worker; shards[0] runs on the caller
+	workers int     // resolved worker count (≥ 1)
+	parMin  int     // minimum per-tick work to dispatch in parallel
+	seqSh   shard   // scratch shard for sequential ticks (its buffers persist)
+	shards  []shard // one per worker; shards[0] runs on the caller
 
 	// Persistent worker pool, started lazily at the first parallel tick
 	// and stopped when the run finishes (unless Options.RetainPool) or
@@ -216,18 +282,22 @@ type Engine struct {
 	done  bool
 }
 
-// shard is one worker's slice of the node set plus its private tick tally;
-// tallies are merged into Stats in shard-index order after the barrier, so
-// the totals do not depend on goroutine scheduling. The fields occupy 56
-// bytes on 64-bit targets; the padding rounds the struct to 128 bytes (two
-// cache lines) so adjacent shards' hot counters never share a line.
+// shard is one worker's contiguous slice of the tick's work — frontier
+// indices under sparse scheduling, node indices in Naive mode — plus its
+// private tick tallies and next-frontier appends; both are merged in
+// shard-index order after the barrier, so nothing depends on goroutine
+// scheduling. The fields occupy 88 bytes on 64-bit targets; the padding
+// rounds the struct to 128 bytes (two cache lines) so adjacent shards' hot
+// counters never share a line.
 type shard struct {
 	lo, hi    int
 	stepCalls int64
 	nonBlank  int64
+	lives     int64 // nodes first-delivered a symbol this tick
 	anyActive bool
 	panicked  any
-	_         [72]byte
+	next      []int32 // frontier appends for tick t+1 (sparse mode)
+	_         [40]byte
 }
 
 // Errors returned by Run.
@@ -259,11 +329,11 @@ func New(g *graph.Graph, opts Options, factory func(NodeInfo) Automaton) *Engine
 }
 
 // Reset re-targets the engine at g for a fresh run, recycling the node,
-// wire, shard, and transcript buffers (growing them only when g needs more
-// capacity) and re-initialising automata in place when they implement
-// Resettable. Every option — root, tick budget (recomputed when it was
-// defaulted), worker count, callbacks — is retained. A retained worker pool
-// (Options.RetainPool) survives the reset when the shard layout is
+// wire, shard, frontier, and transcript buffers (growing them only when g
+// needs more capacity) and re-initialising automata in place when they
+// implement Resettable. Every option — root, tick budget (recomputed when it
+// was defaulted), worker count, callbacks — is retained. A retained worker
+// pool (Options.RetainPool) survives the reset when the shard layout is
 // unchanged. The reused engine is observationally identical to a fresh
 // New: transcripts, statistics, and failures are bit-for-bit the same.
 func (e *Engine) Reset(g *graph.Graph) { e.ResetRooted(g, e.opts.Root) }
@@ -273,6 +343,8 @@ func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 	n := g.N()
 	delta := g.Delta()
 	e.g = g
+	e.delta = delta
+	e.sparse = !e.opts.Naive
 	e.opts.Root = root
 	if e.autoMaxTicks {
 		e.opts.MaxTicks = 64*n*n + 4096
@@ -308,7 +380,10 @@ func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 	}
 
 	e.rootIn, e.rootOut = nil, nil
-	e.lastLive, e.lastWork = 0, 0
+	e.epoch = 1
+	e.frontier = e.frontier[:0]
+	e.frontierNext = e.frontierNext[:0]
+	e.seeded = false
 	e.tick = 0
 	e.stats = Stats{}
 	e.done = false
@@ -352,15 +427,12 @@ func (e *Engine) resizeBuffers(n, delta int) {
 		e.route[v] = e.routeFlat[lo : lo+delta : lo+delta]
 	}
 
-	if cap(e.hasIn) >= n {
-		e.hasIn = e.hasIn[:n]
-		clear(e.hasIn)
-		e.nextHas = e.nextHas[:n]
-		clear(e.nextHas)
-	} else {
-		e.hasIn = make([]uint32, n)
-		e.nextHas = make([]uint32, n)
-	}
+	// Epoch stamps must be zeroed on reuse: the epoch counter restarts at
+	// 1 every run, so a stale mark from a long previous run could
+	// otherwise collide with a future epoch of this one.
+	e.hasStamp = resetStamps(e.hasStamp, n)
+	e.nextHasStamp = resetStamps(e.nextHasStamp, n)
+	e.enqStamp = resetStamps(e.enqStamp, n)
 
 	// Keep automata from shrunken runs in the slice's spare capacity so a
 	// later growth recovers (and resets) them instead of reconstructing.
@@ -381,12 +453,23 @@ func resliceRows(rows [][]wire.Message, n int) [][]wire.Message {
 	return make([][]wire.Message, n)
 }
 
+// resetStamps returns a zeroed stamp plane of length n, reusing capacity.
+func resetStamps(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]uint64, n)
+}
+
 // resetWorkers re-resolves the worker count and shard layout for n nodes. A
 // running pool survives only when the shard count is unchanged (the parked
 // workers hold pointers into e.shards, whose backing array is kept); any
 // layout change stops the pool, which restarts lazily at the next parallel
 // tick.
 func (e *Engine) resetWorkers(n int) {
+	e.seqSh = shard{next: e.seqSh.next[:0]}
 	w := e.opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -416,6 +499,9 @@ func (e *Engine) resetWorkers(n int) {
 			e.shards = make([]shard, w)
 		}
 	}
+	// Static node ranges for Naive mode; sparse ticks re-plan lo/hi over
+	// the frontier before every fan-out. The per-shard frontier buffers
+	// keep their capacity across resets.
 	per := (n + w - 1) / w
 	for i := range e.shards {
 		lo := i * per
@@ -423,7 +509,7 @@ func (e *Engine) resetWorkers(n int) {
 		if hi > n {
 			hi = n
 		}
-		e.shards[i] = shard{lo: lo, hi: hi}
+		e.shards[i] = shard{lo: lo, hi: hi, next: e.shards[i].next[:0]}
 	}
 }
 
@@ -445,6 +531,59 @@ func (e *Engine) PendingIn(v, p int) wire.Message { return e.in[v][p-1] }
 // Stats returns run statistics gathered so far.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// FrontierLen returns the number of processors scheduled for the coming
+// tick (the sparse frontier size). In Naive mode it reports 0 —
+// the dense path has no frontier. Instrumentation only.
+func (e *Engine) FrontierLen() int { return len(e.frontier) }
+
+// Wake schedules node v for the coming tick even though the engine has not
+// observed a delivery to it or a busy report from it. It is the escape
+// hatch for harnesses that arm an automaton externally (e.g. gtd.StartRCA)
+// *between* ticks of a run in flight: the frontier scheduler assumes
+// automaton state changes only inside Step, so an externally armed node
+// must be woken or it will not be scheduled until a symbol arrives. Waking
+// an idle node is harmless (its Step is a no-op by the Automaton contract)
+// and idempotent. Wake must not be called while a tick is executing; in
+// Naive mode it is a no-op since every node steps anyway.
+func (e *Engine) Wake(v int) {
+	if !e.sparse || v < 0 || v >= e.g.N() {
+		return
+	}
+	if !e.seeded {
+		// The pre-run seed scan will pick the node up (and would skip
+		// it here via the stamp anyway).
+		return
+	}
+	if e.enqStamp[v] != e.epoch {
+		e.enqStamp[v] = e.epoch
+		e.frontier = insertSorted(e.frontier, int32(v))
+	}
+}
+
+// insertSorted inserts v into ascending-sorted s, preserving order.
+func insertSorted(s []int32, v int32) []int32 {
+	i, _ := slices.BinarySearch(s, v)
+	return slices.Insert(s, i, v)
+}
+
+// seedFrontier collects the initial frontier: every processor reporting
+// Busy() before the first tick (in gtd, the kicked root and any externally
+// armed standalone initiators). This is the one full scan of the sparse
+// path, and it runs once per run, not per tick.
+func (e *Engine) seedFrontier() {
+	e.seeded = true
+	if !e.sparse {
+		return
+	}
+	for v := 0; v < e.g.N(); v++ {
+		if e.enqStamp[v] != e.epoch && e.procs[v].Busy() {
+			e.enqStamp[v] = e.epoch
+			e.frontier = append(e.frontier, int32(v))
+		}
+	}
+	slices.Sort(e.frontier)
+}
+
 // rootTerminated reports whether the root automaton has reached its terminal
 // state.
 func (e *Engine) rootTerminated() bool {
@@ -452,89 +591,152 @@ func (e *Engine) rootTerminated() bool {
 	return ok && t.Terminated()
 }
 
-// stepRange steps every active node in [lo, hi): the per-pulse body of the
-// paper's model. All reads come from the tick-t buffers (e.in, e.hasIn) and
-// all wire writes target the tick-t+1 buffers (e.nextIn, e.nextHas), so
-// ranges are independent and may run concurrently. par selects atomic
-// stores for the one cross-range write (the destination's pending flag,
-// which is idempotent: every writer stores 1). Step tallies accumulate in
-// sh; the caller merges them deterministically. Returns whether any node in
-// the range was genuinely active (had input or was busy, as opposed to
-// stepped only because of Naive mode).
-func (e *Engine) stepRange(lo, hi int, sh *shard, par bool) bool {
-	delta := e.g.Delta()
-	rootIdx := e.opts.Root
-	anyActive := false
-	for v := lo; v < hi; v++ {
-		hasIn := e.hasIn[v] != 0
-		busy := e.procs[v].Busy()
-		if !(hasIn || busy || e.opts.Naive) {
-			continue
-		}
-		if hasIn || busy {
-			anyActive = true
-		}
-		in := e.in[v]
-		out := e.outBuf[v]
-		e.procs[v].Step(in, out)
-		sh.stepCalls++
-		nonBlankOut := false
-		for p := 0; p < delta; p++ {
-			if out[p].IsBlank() {
-				continue
-			}
-			nonBlankOut = true
-			if e.opts.Validate {
-				if err := out[p].Validate(delta); err != nil {
-					panic(fmt.Sprintf("sim: node %d tick %d out-port %d: %v", v, e.tick, p+1, err))
-				}
-			}
-			dst := e.route[v][p]
-			if dst.Node < 0 {
-				panic(fmt.Sprintf("sim: node %d tick %d wrote to unwired out-port %d", v, e.tick, p+1))
-			}
-			e.nextIn[dst.Node][dst.Port] = out[p]
-			if par {
-				atomic.StoreUint32(&e.nextHas[dst.Node], 1)
-			} else {
-				e.nextHas[dst.Node] = 1
-			}
-			sh.nonBlank++
-		}
-		if v == rootIdx && e.opts.Transcript != nil {
-			// hasIn holds exactly when some in-port carries a
-			// non-blank symbol this tick. The scratch buffers are
-			// engine-owned and reused every tick (the callback may
-			// not retain them), so steady state allocates nothing.
-			if hasIn || nonBlankOut {
-				e.rootInBuf = append(e.rootInBuf[:0], in...)
-				e.rootOutBuf = append(e.rootOutBuf[:0], out...)
-				e.rootIn, e.rootOut = e.rootInBuf, e.rootOutBuf
-			}
-		}
-		// Clear the consumed inputs and reset the out buffer; both are
-		// private to this node.
-		if hasIn {
-			for p := 0; p < delta; p++ {
-				in[p] = wire.Message{}
-			}
-		}
-		if nonBlankOut {
-			for p := 0; p < delta; p++ {
-				out[p] = wire.Message{}
-			}
-		}
+// claimStamp claims plane[v] for the value next, reporting whether this
+// caller won the claim. A stale entry never equals next (epoch values
+// written to a plane strictly increase), so the claim is idempotent per
+// (node, tick). par selects the compare-and-swap path: several workers may
+// race the claim, and the single CAS winner does the bookkeeping — the
+// invariant every frontier and live-count guarantee rests on.
+func claimStamp(plane []uint64, v int, next uint64, par bool) bool {
+	if par {
+		cur := atomic.LoadUint64(&plane[v])
+		return cur != next && atomic.CompareAndSwapUint64(&plane[v], cur, next)
 	}
-	return anyActive
+	if plane[v] != next {
+		plane[v] = next
+		return true
+	}
+	return false
 }
 
-// stepSequential runs the whole pulse on the calling goroutine.
-func (e *Engine) stepSequential() bool {
-	var sh shard
-	anyActive := e.stepRange(0, e.g.N(), &sh, false)
+// markDelivery records that dst was handed a non-blank symbol this tick:
+// the first writer counts dst toward the tick's live total, and under
+// sparse scheduling dst joins the next frontier.
+func (e *Engine) markDelivery(dst int, sh *shard, par bool) {
+	if claimStamp(e.nextHasStamp, dst, e.epoch+1, par) {
+		sh.lives++
+	}
+	if e.sparse {
+		e.enqueueNext(dst, sh, par)
+	}
+}
+
+// enqueueNext puts dst on the shard's next-frontier buffer unless some
+// writer already enqueued it this tick (stamp dedup).
+func (e *Engine) enqueueNext(dst int, sh *shard, par bool) {
+	if claimStamp(e.enqStamp, dst, e.epoch+1, par) {
+		sh.next = append(sh.next, int32(dst))
+	}
+}
+
+// stepNode executes one processor's pulse: Step, emission routing and
+// delivery bookkeeping, root transcript capture, and consumed-buffer
+// clearing. All reads come from the tick-t buffers (e.in, e.hasStamp) and
+// all wire writes target the tick-t+1 buffers (e.nextIn, e.nextHasStamp),
+// so distinct nodes are independent and may run concurrently. Under sparse
+// scheduling the node re-enqueues itself while it remains busy — the half
+// of the frontier invariant that covers busy-without-input processors
+// (e.g. relays holding a speed-1 character).
+func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
+	delta := e.delta
+	in := e.in[v]
+	out := e.outBuf[v]
+	e.procs[v].Step(in, out)
+	sh.stepCalls++
+	nonBlankOut := false
+	for p := 0; p < delta; p++ {
+		if out[p].IsBlank() {
+			continue
+		}
+		nonBlankOut = true
+		if e.opts.Validate {
+			if err := out[p].Validate(delta); err != nil {
+				panic(fmt.Sprintf("sim: node %d tick %d out-port %d: %v", v, e.tick, p+1, err))
+			}
+		}
+		dst := e.route[v][p]
+		if dst.Node < 0 {
+			panic(fmt.Sprintf("sim: node %d tick %d wrote to unwired out-port %d", v, e.tick, p+1))
+		}
+		e.nextIn[dst.Node][dst.Port] = out[p]
+		e.markDelivery(dst.Node, sh, par)
+		sh.nonBlank++
+	}
+	if v == e.opts.Root && e.opts.Transcript != nil {
+		// hasIn holds exactly when some in-port carries a non-blank
+		// symbol this tick. The scratch buffers are engine-owned and
+		// reused every tick (the callback may not retain them), so
+		// steady state allocates nothing.
+		if hasIn || nonBlankOut {
+			e.rootInBuf = append(e.rootInBuf[:0], in...)
+			e.rootOutBuf = append(e.rootOutBuf[:0], out...)
+			e.rootIn, e.rootOut = e.rootInBuf, e.rootOutBuf
+		}
+	}
+	// Clear the consumed inputs and reset the out buffer; both are
+	// private to this node.
+	if hasIn {
+		for p := 0; p < delta; p++ {
+			in[p] = wire.Message{}
+		}
+	}
+	if nonBlankOut {
+		for p := 0; p < delta; p++ {
+			out[p] = wire.Message{}
+		}
+	}
+	if e.sparse && e.procs[v].Busy() {
+		e.enqueueNext(v, sh, par)
+	}
+}
+
+// stepFrontier steps the given slice of the tick's frontier. Every frontier
+// node is genuinely active by construction — it was delivered a symbol last
+// tick, or it reported Busy() right after its previous step — so there is
+// no per-node skip test: the scheduler's work is exactly O(frontier).
+func (e *Engine) stepFrontier(nodes []int32, sh *shard, par bool) {
+	epoch := e.epoch
+	for _, v := range nodes {
+		e.stepNode(int(v), e.hasStamp[v] == epoch, sh, par)
+	}
+	if len(nodes) > 0 {
+		sh.anyActive = true
+	}
+}
+
+// stepRangeDense is the Naive-mode pulse body: step every node in [lo, hi),
+// the paper's model taken literally. It is the dense reference the sparse
+// scheduler is validated against; its per-node activity test feeds the
+// quiescence check only.
+func (e *Engine) stepRangeDense(lo, hi int, sh *shard, par bool) {
+	epoch := e.epoch
+	for v := lo; v < hi; v++ {
+		hasIn := e.hasStamp[v] == epoch
+		if hasIn || e.procs[v].Busy() {
+			sh.anyActive = true
+		}
+		e.stepNode(v, hasIn, sh, par)
+	}
+}
+
+// stepSequential runs the whole pulse on the calling goroutine, reporting
+// whether any genuinely active node stepped and how many nodes were
+// first-delivered a symbol for the next tick.
+func (e *Engine) stepSequential() (bool, int) {
+	sh := &e.seqSh
+	sh.stepCalls, sh.nonBlank, sh.lives, sh.anyActive = 0, 0, 0, false
+	if e.sparse {
+		// Append straight into the engine's next-frontier buffer.
+		sh.next = e.frontierNext
+		e.stepFrontier(e.frontier, sh, false)
+		e.frontierNext = sh.next
+		sh.next = nil
+	} else {
+		e.stepRangeDense(0, e.g.N(), sh, false)
+	}
 	e.stats.StepCalls += sh.stepCalls
 	e.stats.NonBlankMessages += sh.nonBlank
-	return anyActive
+	return sh.anyActive, int(sh.lives)
 }
 
 // runShard executes one shard's slice of the pulse, converting a panic
@@ -546,7 +748,11 @@ func (e *Engine) runShard(sh *shard) {
 			sh.panicked = r
 		}
 	}()
-	sh.anyActive = e.stepRange(sh.lo, sh.hi, sh, true)
+	if e.sparse {
+		e.stepFrontier(e.frontier[sh.lo:sh.hi], sh, true)
+	} else {
+		e.stepRangeDense(sh.lo, sh.hi, sh, true)
+	}
 }
 
 // startPool launches the persistent workers for shards 1..W-1 (shard 0
@@ -598,17 +804,31 @@ func (e *Engine) releasePool() {
 // tick.
 func (e *Engine) Close() { e.stopPool() }
 
-// stepParallel fans the pulse out across the shard workers. Shard 0 runs on
-// the calling goroutine; the barrier orders every worker write before the
-// merge, which folds tallies in shard-index order and re-raises the
-// lowest-indexed worker panic so that failures are deterministic too.
-func (e *Engine) stepParallel() bool {
+// stepParallel fans the pulse out across the shard workers. Under sparse
+// scheduling the (index-sorted) frontier is carved into contiguous shards
+// first, so the lowest-indexed active nodes always land in the lowest
+// shard; Naive mode keeps the static node ranges. Shard 0 runs on the
+// calling goroutine; the barrier orders every worker write before the
+// merge, which folds tallies and next-frontier appends in shard-index order
+// and re-raises the lowest-indexed worker panic so that failures are
+// deterministic too.
+func (e *Engine) stepParallel() (bool, int) {
 	if !e.poolUp {
 		e.startPool()
 	}
-	for w := range e.shards {
-		sh := &e.shards[w]
-		sh.stepCalls, sh.nonBlank, sh.anyActive, sh.panicked = 0, 0, false, nil
+	if e.sparse {
+		w := len(e.shards)
+		per := (len(e.frontier) + w - 1) / w
+		for i := range e.shards {
+			lo := min(i*per, len(e.frontier))
+			e.shards[i].lo = lo
+			e.shards[i].hi = min(lo+per, len(e.frontier))
+		}
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.stepCalls, sh.nonBlank, sh.lives, sh.anyActive, sh.panicked = 0, 0, 0, false, nil
+		sh.next = sh.next[:0]
 	}
 	for _, ch := range e.startCh {
 		ch <- struct{}{}
@@ -618,6 +838,7 @@ func (e *Engine) stepParallel() bool {
 		<-e.doneCh
 	}
 	anyActive := false
+	lives := 0
 	for w := range e.shards {
 		sh := &e.shards[w]
 		if sh.panicked != nil {
@@ -626,26 +847,26 @@ func (e *Engine) stepParallel() bool {
 		}
 		e.stats.StepCalls += sh.stepCalls
 		e.stats.NonBlankMessages += sh.nonBlank
+		lives += int(sh.lives)
 		anyActive = anyActive || sh.anyActive
+		if e.sparse {
+			e.frontierNext = append(e.frontierNext, sh.next...)
+		}
 	}
-	return anyActive
+	return anyActive, lives
 }
 
 // parallelTick reports whether the coming pulse has enough work to amortise
-// the worker fan-out, predicted from deterministic engine state: the
-// processors known to hold a pending symbol plus the stepped-set size of
-// the previous tick (which also counts busy-without-input processors, e.g.
-// relays holding a speed-1 character). Both paths produce identical state,
-// so mixing them within a run preserves the determinism guarantee.
+// the worker fan-out. Unlike the old heuristic prediction, the frontier
+// *is* the tick's work set, so the decision is exact; in Naive mode every
+// node steps. Both paths produce identical state, so mixing them within a
+// run preserves the determinism guarantee.
 func (e *Engine) parallelTick() bool {
 	if e.workers <= 1 {
 		return false
 	}
-	work := e.lastLive
-	if e.lastWork > work {
-		work = e.lastWork
-	}
-	if e.opts.Naive {
+	work := len(e.frontier)
+	if !e.sparse {
 		work = e.g.N()
 	}
 	return work >= e.parMin
@@ -656,6 +877,9 @@ func (e *Engine) parallelTick() bool {
 func (e *Engine) RunOne() (bool, error) {
 	if e.done {
 		return false, nil
+	}
+	if !e.seeded {
+		e.seedFrontier()
 	}
 	if e.rootTerminated() {
 		e.done = true
@@ -680,35 +904,32 @@ func (e *Engine) RunOne() (bool, error) {
 	}
 
 	e.rootIn, e.rootOut = nil, nil
-	stepsBefore := e.stats.StepCalls
 	var anyActive bool
+	var lives int
 	if e.parallelTick() {
-		anyActive = e.stepParallel()
+		anyActive, lives = e.stepParallel()
 	} else {
-		anyActive = e.stepSequential()
+		anyActive, lives = e.stepSequential()
 	}
-	e.lastWork = int(e.stats.StepCalls - stepsBefore)
 
 	if e.rootIn != nil {
 		e.opts.Transcript(TranscriptEntry{Tick: e.tick, In: e.rootIn, Out: e.rootOut})
 	}
 
-	// Count next tick's live set and swap buffers. Inputs consumed this
-	// tick were already cleared node-locally in stepRange.
-	activeCount := 0
-	for v := range e.nextHas {
-		if e.nextHas[v] != 0 {
-			activeCount++
-		}
+	// The tick's live total was counted at delivery time (stamp winners),
+	// never by scanning nodes. Swap the wire and stamp planes, advance
+	// the epoch, and promote the merged, sorted next frontier. Inputs
+	// consumed this tick were already cleared node-locally in stepNode;
+	// the stamp planes need no clearing at all (stale epochs never match).
+	if lives > e.stats.MaxActive {
+		e.stats.MaxActive = lives
 	}
-	if activeCount > e.stats.MaxActive {
-		e.stats.MaxActive = activeCount
-	}
-	e.lastLive = activeCount
 	e.in, e.nextIn = e.nextIn, e.in
-	e.hasIn, e.nextHas = e.nextHas, e.hasIn
-	for v := range e.nextHas {
-		e.nextHas[v] = 0
+	e.hasStamp, e.nextHasStamp = e.nextHasStamp, e.hasStamp
+	e.epoch++
+	if e.sparse {
+		slices.Sort(e.frontierNext)
+		e.frontier, e.frontierNext = e.frontierNext, e.frontier[:0]
 	}
 
 	e.tick++
@@ -717,7 +938,18 @@ func (e *Engine) RunOne() (bool, error) {
 		ob.AfterTick(e.tick-1, e)
 	}
 
-	if !anyActive && !e.anyPending() {
+	// Quiescence: under sparse scheduling an empty next frontier *is*
+	// global quiescence (no symbol in flight, no busy processor — busy
+	// nodes re-enqueue themselves); the dense path sweeps, as it must.
+	quiet := !anyActive
+	if quiet {
+		if e.sparse {
+			quiet = len(e.frontier) == 0
+		} else {
+			quiet = !e.anyPending()
+		}
+	}
+	if quiet {
 		e.done = true
 		e.releasePool()
 		if e.opts.StopWhenQuiescent || e.rootTerminated() {
@@ -728,10 +960,12 @@ func (e *Engine) RunOne() (bool, error) {
 	return true, nil
 }
 
-// anyPending reports whether any symbol is in flight or any processor busy.
+// anyPending reports whether any symbol is in flight or any processor busy:
+// the Naive-mode quiescence sweep (the sparse path derives the same answer
+// from the frontier).
 func (e *Engine) anyPending() bool {
-	for v := range e.hasIn {
-		if e.hasIn[v] != 0 || e.procs[v].Busy() {
+	for v := 0; v < e.g.N(); v++ {
+		if e.hasStamp[v] == e.epoch || e.procs[v].Busy() {
 			return true
 		}
 	}

@@ -26,15 +26,22 @@
 //     root),
 //   - LowerBound helpers reproducing the paper's Ω(N log N) argument.
 //
-// # Parallel execution and determinism
+// # Sparse scheduling, parallel execution, and determinism
 //
-// The simulation engine is multi-core: within one global pulse every
+// The simulation engine schedules each global pulse from a sparse frontier:
+// only processors that were delivered a symbol, or that stayed busy after
+// their previous step, are stepped at all, so a tick costs O(active) rather
+// than O(N) — the protocol keeps per-pulse activity bounded by transaction
+// structure, not network size. Options.Dense restores the literal
+// every-node sweep as a reference path; results are bit-identical.
+//
+// The engine is also multi-core: within one global pulse every
 // processor reads the symbols delivered at tick t and writes symbols for
-// tick t+1, so a pulse is embarrassingly parallel and the engine shards it
-// across a worker pool with double-buffered wire state. Options.Workers
-// selects the pool size — 0 (the default) uses runtime.GOMAXPROCS(0), 1
-// forces the legacy sequential path, and any other value sizes the pool
-// explicitly.
+// tick t+1, so a pulse is embarrassingly parallel and the engine shards the
+// frontier across a worker pool with double-buffered wire state.
+// Options.Workers selects the pool size — 0 (the default) uses
+// runtime.GOMAXPROCS(0), 1 forces the sequential path, and any other value
+// sizes the pool explicitly.
 //
 // The determinism guarantee: for a fixed graph, root, and speed
 // configuration, every run produces a bit-identical root transcript,
@@ -48,7 +55,7 @@
 //
 // The simulation substrate, snake/token data structures, protocol automaton
 // and transcript decoder live in internal packages; see DESIGN.md for the
-// architecture and the §4 experiment catalogue (E1–E13) reproducing every
+// architecture and the §4 experiment catalogue (E1–E14) reproducing every
 // quantitative claim in the paper.
 package topomap
 
@@ -158,6 +165,12 @@ type Options struct {
 	// produces a bit-identical transcript and statistics — see the
 	// package documentation for the determinism guarantee.
 	Workers int
+	// Dense disables the sparse frontier scheduler and steps every
+	// processor every tick, making a run cost O(N) per tick instead of
+	// O(active). Results are bit-identical either way (tested); Dense
+	// exists as the reference path for equivalence checking and
+	// debugging, never for performance.
+	Dense bool
 }
 
 // Speeds is the per-hop extra hold of each construct class, in ticks
@@ -208,6 +221,7 @@ func Map(g *Graph, opts Options) (*Result, error) {
 		MaxTicks: opts.MaxTicks,
 		Validate: opts.Validate,
 		Workers:  opts.Workers,
+		Dense:    opts.Dense,
 		Config:   &cfg,
 	})
 	if err != nil {
@@ -255,6 +269,7 @@ func NewSession(opts Options) *Session {
 		MaxTicks: opts.MaxTicks,
 		Validate: opts.Validate,
 		Workers:  opts.Workers,
+		Dense:    opts.Dense,
 		Config:   &cfg,
 	})}
 }
