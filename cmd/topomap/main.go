@@ -47,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxTick = fs.Int("maxticks", 0, "tick budget (0 = automatic)")
 		workers = fs.Int("workers", 0, "engine workers per tick (0 = GOMAXPROCS, 1 = sequential; -trace forces 1)")
 		dense   = fs.Bool("dense", false, "disable sparse frontier scheduling (dense reference sweep; identical results, O(N) slower ticks)")
+		sched   = fs.String("sched", "auto", "execution policy: auto (adaptive burst/parallel), seq (per-tick sequential), par (force parallel); identical results, different wall-clock")
+		seqThr  = fs.Int("seqthreshold", 0, "adaptive policy: frontier size below which ticks run as a sequential burst (0 = engine default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,6 +57,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fatal := func(err error) int {
 		fmt.Fprintf(stderr, "topomap: %v\n", err)
 		return 1
+	}
+
+	policy, err := sim.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintf(stderr, "topomap: %v\n", err)
+		return 2
 	}
 
 	g, err := loadGraph(*in, *family, *n, *seed)
@@ -81,11 +89,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	eng = sim.New(g, sim.Options{
-		Root:       *root,
-		MaxTicks:   *maxTick,
-		Workers:    *workers,
-		Naive:      *dense,
-		Transcript: m.Process,
+		Root:         *root,
+		MaxTicks:     *maxTick,
+		Workers:      *workers,
+		Naive:        *dense,
+		Sched:        policy,
+		SeqThreshold: *seqThr,
+		Transcript:   m.Process,
 	}, gtd.NewFactory(cfg))
 	st, err := eng.Run()
 	if err != nil {
@@ -112,6 +122,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "stats:   ticks/(N·D)=%.2f  steps=%d  steps/tick=%.2f  peak-active=%d\n",
 			float64(st.Ticks)/float64(nd), st.StepCalls,
 			float64(st.StepCalls)/float64(st.Ticks), st.MaxActive)
+		fmt.Fprintf(stdout, "sched:   policy=%v seq-ticks=%d par-ticks=%d bursts=%d\n",
+			policy, st.SeqTicks, st.ParTicks, st.Bursts)
 	}
 	if *edges {
 		for _, e := range mapped.Edges() {

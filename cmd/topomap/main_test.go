@@ -47,6 +47,42 @@ func TestMapDenseMatchesSparse(t *testing.T) {
 	}
 }
 
+// TestMapSchedPolicies: every -sched policy maps identically; the stats
+// output reports the policy and telemetry; a bad policy exits 2.
+func TestMapSchedPolicies(t *testing.T) {
+	mapped := func(args ...string) (string, string) {
+		t.Helper()
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+		}
+		var m, s string
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(l, "mapped:") {
+				m = l
+			}
+			if strings.HasPrefix(l, "sched:") {
+				s = l
+			}
+		}
+		return m, s
+	}
+	auto, schedLine := mapped("-family", "kautz", "-n", "12", "-stats", "-sched", "auto")
+	if !strings.Contains(schedLine, "policy=auto") || !strings.Contains(schedLine, "bursts=") {
+		t.Fatalf("stats should report the scheduler telemetry: %q", schedLine)
+	}
+	for _, policy := range []string{"seq", "sequential", "par", "parallel"} {
+		got, _ := mapped("-family", "kautz", "-n", "12", "-stats", "-sched", policy)
+		if got != auto {
+			t.Fatalf("-sched %s diverges:\nauto: %s\n%s:  %s", policy, auto, policy, got)
+		}
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "ring", "-n", "6", "-sched", "warp"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -sched should exit 2, got %d", code)
+	}
+}
+
 // TestMapDotOutput: -dot writes a Graphviz file.
 func TestMapDotOutput(t *testing.T) {
 	dot := filepath.Join(t.TempDir(), "mapped.dot")

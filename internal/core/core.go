@@ -40,6 +40,13 @@ type Options struct {
 	// observationally identical and O(N) slower per tick — it exists for
 	// the dense-vs-sparse equivalence harness (E14) and debugging.
 	Dense bool
+	// Sched selects the engine's execution policy (sim.SchedAuto bursts
+	// small-frontier ticks sequentially; the Force policies pin the
+	// dispatch). Every policy yields identical results.
+	Sched sim.SchedPolicy
+	// SeqThreshold tunes the adaptive policy's sequential-burst
+	// crossover; 0 keeps the engine default.
+	SeqThreshold int
 	// Config overrides the paper's speed assignment; nil uses defaults.
 	Config *gtd.Config
 	// Observers are attached to the engine (instrumentation).
@@ -126,14 +133,16 @@ func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult
 	}
 	if s.eng == nil {
 		s.eng = sim.New(g, sim.Options{
-			Root:       root,
-			MaxTicks:   s.opts.MaxTicks,
-			Validate:   s.opts.Validate,
-			Workers:    s.opts.Workers,
-			Naive:      s.opts.Dense,
-			Transcript: s.m.Process,
-			Observers:  s.opts.Observers,
-			RetainPool: true,
+			Root:         root,
+			MaxTicks:     s.opts.MaxTicks,
+			Validate:     s.opts.Validate,
+			Workers:      s.opts.Workers,
+			Naive:        s.opts.Dense,
+			Sched:        s.opts.Sched,
+			SeqThreshold: s.opts.SeqThreshold,
+			Transcript:   s.m.Process,
+			Observers:    s.opts.Observers,
+			RetainPool:   true,
 			Cancel: func() error {
 				if s.ctx != nil {
 					return s.ctx.Err()

@@ -105,7 +105,7 @@ func (m *slackMeter) growingResidue(e *sim.Engine) bool {
 				return true
 			}
 			for i := 0; i < wire.NumGrowKinds; i++ {
-				if msg.HasGrow[i] {
+				if msg.HasGrowKind(i) {
 					return true
 				}
 			}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/sim"
+)
+
+// fingerprintRun is the shared harness of the scheduler-equivalence
+// experiments (E14, E15): run the protocol under the given engine options,
+// fingerprinting everything observable — an FNV-1a hash of the full root
+// transcript stream plus the scheduler-invariant statistics and the error
+// outcome — so two runs are byte-comparable by a single string. window > 0
+// bounds the run by a tick budget (ErrMaxTicks is then the expected,
+// shared outcome); wall is measured around the run only.
+//
+// includeSteps folds StepCalls into the fingerprint: execution policies at
+// a fixed scheduling substrate (E15) must agree on it, while dense and
+// sparse substrates (E14) differ on it by design.
+type fingerprintRun struct {
+	stats       sim.Stats
+	wall        time.Duration
+	fingerprint string
+}
+
+func runFingerprinted(g *graph.Graph, opts sim.Options, window int, includeSteps bool) (*fingerprintRun, error) {
+	opts.MaxTicks = 64_000_000
+	if window > 0 {
+		opts.MaxTicks = window
+	}
+	h := fnv.New64a()
+	opts.Transcript = func(e sim.TranscriptEntry) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.Tick))
+		h.Write(buf[:])
+		for _, m := range e.In {
+			fmt.Fprintf(h, "%v|", m)
+		}
+		for _, m := range e.Out {
+			fmt.Fprintf(h, "%v|", m)
+		}
+	}
+	eng := sim.New(g, opts, gtd.NewFactory(gtd.DefaultConfig()))
+	start := time.Now()
+	stats, err := eng.Run()
+	wall := time.Since(start)
+	if err != nil && !(window > 0 && errors.Is(err, sim.ErrMaxTicks)) {
+		return nil, err
+	}
+	obs := stats.Observables()
+	steps := "-"
+	if includeSteps {
+		steps = fmt.Sprintf("%d", obs.StepCalls)
+	}
+	return &fingerprintRun{
+		stats: stats,
+		wall:  wall,
+		fingerprint: fmt.Sprintf("%x|t=%d|m=%d|s=%s|a=%d|err=%v",
+			h.Sum64(), obs.Ticks, obs.NonBlankMessages, steps, obs.MaxActive, err),
+	}, nil
+}

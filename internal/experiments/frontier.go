@@ -1,14 +1,9 @@
 package experiments
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"hash/fnv"
-	"time"
 
 	"topomap/internal/graph"
-	"topomap/internal/gtd"
 	"topomap/internal/sim"
 )
 
@@ -85,49 +80,14 @@ func E14FrontierScheduler(s Scale) (*Table, error) {
 	return t, nil
 }
 
-// frontierRun is one engine run's comparable outcome.
-type frontierRun struct {
-	stats       sim.Stats
-	wall        time.Duration
-	fingerprint string
-}
-
-// runFrontierMode executes the protocol with the given scheduler mode,
-// fingerprinting everything observable: the root transcript stream and the
-// mode-invariant statistics and error. window > 0 bounds the run by a tick
-// budget (ErrMaxTicks is then the expected, shared outcome).
-func runFrontierMode(g *graph.Graph, naive bool, window int) (*frontierRun, error) {
-	budget := 64_000_000
-	if window > 0 {
-		budget = window
-	}
-	h := fnv.New64a()
-	eng := sim.New(g, sim.Options{
-		MaxTicks: budget,
-		Naive:    naive,
-		Workers:  Workers, // wall-clock knob only; 0 = GOMAXPROCS
-		Transcript: func(e sim.TranscriptEntry) {
-			var buf [8]byte
-			binary.LittleEndian.PutUint64(buf[:], uint64(e.Tick))
-			h.Write(buf[:])
-			for _, m := range e.In {
-				fmt.Fprintf(h, "%v|", m)
-			}
-			for _, m := range e.Out {
-				fmt.Fprintf(h, "%v|", m)
-			}
-		},
-	}, gtd.NewFactory(gtd.DefaultConfig()))
-	start := time.Now()
-	stats, err := eng.Run()
-	wall := time.Since(start)
-	if err != nil && !(window > 0 && errors.Is(err, sim.ErrMaxTicks)) {
-		return nil, err
-	}
-	return &frontierRun{
-		stats: stats,
-		wall:  wall,
-		fingerprint: fmt.Sprintf("%x|t=%d|m=%d|a=%d|err=%v",
-			h.Sum64(), stats.Ticks, stats.NonBlankMessages, stats.MaxActive, err),
-	}, nil
+// runFrontierMode executes the protocol with the given scheduling
+// substrate on the shared fingerprint harness. StepCalls is excluded from
+// the fingerprint: the dense sweep steps every node by definition, so its
+// step count differs from the frontier scheduler's by design.
+func runFrontierMode(g *graph.Graph, naive bool, window int) (*fingerprintRun, error) {
+	return runFingerprinted(g, sim.Options{
+		Naive:   naive,
+		Sched:   Sched,   // wall-clock knob only (topobench -sched)
+		Workers: Workers, // wall-clock knob only; 0 = GOMAXPROCS
+	}, window, false)
 }

@@ -181,6 +181,7 @@ func transcriptHash(g *graph.Graph) ([32]byte, int, error) {
 	eng := sim.New(g, sim.Options{
 		Root:     0,
 		MaxTicks: 8_000_000,
+		Sched:    Sched,
 		Workers:  maxWorkers(),
 		Transcript: func(e sim.TranscriptEntry) {
 			m.Process(e)

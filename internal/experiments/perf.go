@@ -45,15 +45,18 @@ func E9Throughput(s Scale) (*Table, error) {
 		var baseSteps int64
 		for _, workers := range workerSweep() {
 			m := mapper.New(g.Delta())
-			// ParallelThreshold 1 forces every live tick through the
-			// parallel scheduler: the sweep measures the sharded
-			// engine itself, not the adaptive dispatch (which would
-			// quietly fall back to sequential on the smaller cases).
+			// SchedForceParallel (with ParallelThreshold 1) forces
+			// every live tick through the parallel scheduler: the
+			// sweep measures the sharded engine itself, not the
+			// adaptive dispatch, which would quietly burst the
+			// smaller cases sequentially. E9 therefore pins its own
+			// policy and ignores topobench -sched, like E15.
 			eng := sim.New(g, sim.Options{
 				Root:              0,
 				MaxTicks:          64_000_000,
 				Workers:           workers,
 				ParallelThreshold: 1,
+				Sched:             sim.SchedForceParallel,
 				Transcript:        m.Process,
 			}, gtd.NewFactory(gtd.DefaultConfig()))
 			start := time.Now()

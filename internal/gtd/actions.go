@@ -16,6 +16,7 @@ func (p *Processor) startRCA(tok wire.LoopToken) {
 	p.rca.phase = rcaWaitOG
 	p.rca.tok = tok
 	p.rca.ini.Start()
+	p.live |= liveRCAIni
 	p.cfg.hook(p.info.Index, EvRCAStart, int(tok.Type))
 }
 
@@ -57,6 +58,7 @@ func (p *Processor) startBCA(targetPort uint8, payload wire.Payload) {
 	p.bcaI.targetPort = targetPort
 	p.bcaI.payload = payload
 	p.bcaI.ini.Start()
+	p.live |= liveBCAIni
 	p.cfg.hook(p.info.Index, EvBCAStart, int(payload))
 }
 

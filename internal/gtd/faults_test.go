@@ -145,7 +145,7 @@ func (c *corruptIn) Step(in, out []wire.Message) {
 	if c.tick == c.at {
 		for p := range in {
 			i := wire.GrowIndex(wire.KindIG)
-			if in[p].HasGrow[i] && in[p].Grow[i].Part != wire.Tail {
+			if in[p].HasGrowKind(i) && in[p].Grow[i].Part != wire.Tail {
 				in[p].Grow[i].Out = in[p].Grow[i].Out%2 + 1
 				c.did = true
 				break

@@ -195,6 +195,30 @@ func (l *loopMarks) age() {
 	}
 }
 
+// hold returns the ticks until the in-transit token can leave (-1 when no
+// token is in transit): the token emitted j ticks from now rests for j-1
+// more no-op ticks first.
+func (l *loopMarks) hold() int {
+	if !l.tokActive {
+		return -1
+	}
+	h := int(l.tokHold) - 1
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// ageN replays n skipped ticks of hold decay.
+func (l *loopMarks) ageN(n int) {
+	if l.tokActive && l.tokHold > 0 {
+		l.tokHold -= int8(n)
+		if l.tokHold < 0 {
+			l.tokHold = 0
+		}
+	}
+}
+
 // clearAll erases every designation (used by the origin when it absorbs its
 // own UNMARK token).
 func (l *loopMarks) clearAll() {

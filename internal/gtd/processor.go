@@ -27,6 +27,16 @@ type Processor struct {
 
 	marks loopMarks
 
+	// live is the component-occupancy bitmask (see the live* constants):
+	// bit b is set while the corresponding component may still act
+	// without input. Gain sites (receives, arms, starts) set bits as they
+	// happen — conservatively: a set bit only promises the component is
+	// *worth polling* — and refreshLive, at the end of every Step,
+	// rescans exactly the set bits and clears the ones whose component
+	// drained. The hot paths (beginTick, emit, Busy, Hold, AdvanceHold)
+	// then iterate set bits instead of polling every idle component.
+	live uint16
+
 	// killPending is the residual hold of a KILL token being forwarded;
 	// -1 means none.
 	killPending int8
@@ -57,6 +67,36 @@ type Processor struct {
 	// is reset at the start of every Step.
 	scratch scratch
 }
+
+// Component bits of Processor.live, in emission order (emit iterates set
+// bits ascending, reproducing the fixed component order of the paper's
+// channel composition).
+const (
+	liveGrow0 uint16 = 1 << iota // grow[0] (IG relay)
+	liveGrow1                    // grow[1] (OG relay)
+	liveGrow2                    // grow[2] (BG relay)
+	liveRootConv
+	liveRCAIni
+	liveBCAIni
+	liveDie0 // die[0] (ID relay)
+	liveDie1 // die[1] (OD relay)
+	liveDie2 // die[2] (BD relay)
+	liveRCAConv
+	liveODConv
+	liveBCAConv
+	liveMarks
+	liveKill
+)
+
+// The direct bit↔component cases in liveBitBusy/beginTick/emit/Hold assume
+// exactly three growing and three dying kinds; these fail to compile if the
+// alphabet ever changes.
+var (
+	_ [wire.NumGrowKinds - 3]struct{}
+	_ [3 - wire.NumGrowKinds]struct{}
+	_ [wire.NumDieKinds - 3]struct{}
+	_ [3 - wire.NumDieKinds]struct{}
+)
 
 type scratch struct {
 	killNow  bool
@@ -263,12 +303,15 @@ func (p *Processor) Terminated() bool { return p.terminated }
 //     no-op that emits only blanks (asserted by TestQuiescentStepIsNoop
 //     and, end to end, by the dense-vs-sparse equivalence suite).
 //
-// The disjuncts below enumerate every source of spontaneous activity:
-// pending kicks, running snake initiators, non-empty relay pipelines,
-// armed but unfinished converters, decaying loop marks, and a KILL token
-// still held for its residual delay. A construct missing from this list
-// would stall under sparse scheduling the moment it tried to act from a
-// tick with no incoming symbol.
+// The live bitmask enumerates every source of spontaneous activity:
+// running snake initiators, non-empty relay pipelines, armed but
+// unfinished converters, decaying loop marks, and a KILL token still held
+// for its residual delay; pending kicks are checked directly. A construct
+// missing from the mask maintenance would stall under sparse scheduling
+// the moment it tried to act from a tick with no incoming symbol — the
+// dense-vs-sparse equivalence suite exists to detect exactly this class
+// of bug, and TestHoldMatchesBusy pins the mask against a full component
+// rescan across protocol runs.
 func (p *Processor) Busy() bool {
 	if p.rootKick || p.pendingKick != kickNone {
 		return true
@@ -276,34 +319,59 @@ func (p *Processor) Busy() bool {
 	if p.terminated {
 		return false
 	}
-	if p.rca.ini.Busy() || p.bcaI.ini.Busy() {
-		return true
+	return p.live != 0
+}
+
+// liveBitBusy re-derives one component's occupancy from its ground truth;
+// refreshLive uses it to clear drained bits. For converters the criterion
+// is armed-and-unfinished (matching their contribution to Busy): a starved
+// conversion stays live so the scheduler keeps re-examining it.
+func (p *Processor) liveBitBusy(bit uint16) bool {
+	switch bit {
+	case liveGrow0:
+		return p.grow[0].Busy()
+	case liveGrow1:
+		return p.grow[1].Busy()
+	case liveGrow2:
+		return p.grow[2].Busy()
+	case liveRootConv:
+		return p.root.conv.Busy()
+	case liveRCAIni:
+		return p.rca.ini.Busy()
+	case liveBCAIni:
+		return p.bcaI.ini.Busy()
+	case liveDie0:
+		return p.die[0].Busy()
+	case liveDie1:
+		return p.die[1].Busy()
+	case liveDie2:
+		return p.die[2].Busy()
+	case liveRCAConv:
+		return p.rca.conv.Armed() && !p.rca.conv.Done()
+	case liveODConv:
+		return p.root.odConv.Armed() && !p.root.odConv.Done()
+	case liveBCAConv:
+		return p.bcaI.conv.Armed() && !p.bcaI.conv.Done()
+	case liveMarks:
+		return p.marks.tokActive
+	case liveKill:
+		return p.killPending >= 0
 	}
-	for i := range p.grow {
-		if p.grow[i].Busy() {
-			return true
+	panic("gtd: unknown live bit")
+}
+
+// refreshLive rescans exactly the set bits of the live mask and clears the
+// components that drained during this step. Components can gain occupancy
+// only at sites that set their bit, so untouched clear bits stay correct.
+func (p *Processor) refreshLive() {
+	m := p.live
+	for m != 0 {
+		bit := m & (-m)
+		m &^= bit
+		if !p.liveBitBusy(bit) {
+			p.live &^= bit
 		}
 	}
-	for i := range p.die {
-		if p.die[i].Busy() {
-			return true
-		}
-	}
-	if p.info.Root {
-		if p.root.conv.Busy() {
-			return true
-		}
-		if p.root.odConv.Armed() && (p.root.odConv.Busy() || !p.root.odConv.Done()) {
-			return true
-		}
-	}
-	if p.rca.conv.Armed() && (p.rca.conv.Busy() || !p.rca.conv.Done()) {
-		return true
-	}
-	if p.bcaI.conv.Armed() && (p.bcaI.conv.Busy() || !p.bcaI.conv.Done()) {
-		return true
-	}
-	return p.marks.busy() || p.killPending >= 0
 }
 
 // Step implements sim.Automaton.
@@ -331,7 +399,7 @@ func (p *Processor) Step(in, out []wire.Message) {
 			continue
 		}
 		for i := 0; i < wire.NumGrowKinds; i++ {
-			if m.HasGrow[i] {
+			if m.HasGrowKind(i) {
 				c := snake.FromGrow(m.Grow[i])
 				if c.Part != wire.Tail && c.In == wire.Star {
 					c.In = uint8(port)
@@ -340,14 +408,14 @@ func (p *Processor) Step(in, out []wire.Message) {
 			}
 		}
 		for i := 0; i < wire.NumDieKinds; i++ {
-			if m.HasDie[i] {
+			if m.HasDieKind(i) {
 				p.receiveDie(wire.DieKindAt(i), snake.FromDie(m.Die[i]), uint8(port))
 			}
 		}
-		if m.HasLoop {
+		if m.HasLoop() {
 			p.receiveLoop(m.Loop, uint8(port))
 		}
-		if m.HasDFS {
+		if m.HasDFS() {
 			p.receiveDFS(m.DFS.Out, uint8(port))
 		}
 	}
@@ -366,30 +434,46 @@ func (p *Processor) Step(in, out []wire.Message) {
 	}
 
 	p.emit(out)
+	p.refreshLive()
 }
 
-// beginTick ages every pipeline exactly once.
+// beginTick ages every live pipeline exactly once; idle components (clear
+// bits) need no aging at all, so the common step ages one or two
+// components instead of polling a dozen.
 func (p *Processor) beginTick() {
-	for i := range p.grow {
-		p.grow[i].BeginTick()
-	}
-	for i := range p.die {
-		p.die[i].BeginTick()
-	}
-	if p.info.Root {
-		p.root.conv.BeginTick()
-		if p.root.odConv.Armed() {
+	m := p.live
+	for m != 0 {
+		bit := m & (-m)
+		m &^= bit
+		switch bit {
+		case liveGrow0:
+			p.grow[0].BeginTick()
+		case liveGrow1:
+			p.grow[1].BeginTick()
+		case liveGrow2:
+			p.grow[2].BeginTick()
+		case liveRootConv:
+			p.root.conv.BeginTick()
+		case liveRCAIni, liveBCAIni:
+			// Initiators hold no pipeline.
+		case liveDie0:
+			p.die[0].BeginTick()
+		case liveDie1:
+			p.die[1].BeginTick()
+		case liveDie2:
+			p.die[2].BeginTick()
+		case liveRCAConv:
+			p.rca.conv.BeginTick()
+		case liveODConv:
 			p.root.odConv.BeginTick()
+		case liveBCAConv:
+			p.bcaI.conv.BeginTick()
+		case liveMarks:
+			p.marks.age()
+		case liveKill:
+			if p.killPending > 0 {
+				p.killPending--
+			}
 		}
-	}
-	if p.rca.conv.Armed() {
-		p.rca.conv.BeginTick()
-	}
-	if p.bcaI.conv.Armed() {
-		p.bcaI.conv.BeginTick()
-	}
-	p.marks.age()
-	if p.killPending > 0 {
-		p.killPending--
 	}
 }

@@ -19,6 +19,7 @@ func (p *Processor) receiveGrow(kind wire.SnakeKind, c snake.Char, port uint8) {
 			// passed; conversion complete) drops stragglers.
 			if !p.root.sealed {
 				p.root.conv.Receive(c, port)
+				p.live |= liveRootConv
 			}
 			return
 		}
@@ -26,7 +27,8 @@ func (p *Processor) receiveGrow(kind wire.SnakeKind, c snake.Char, port uint8) {
 			// The initiator is deaf to its own flood.
 			return
 		}
-		p.grow[wire.GrowIndex(wire.KindIG)].Receive(c, port)
+		p.grow[igIdx].Receive(c, port)
+		p.live |= liveGrow0
 
 	case wire.KindOG:
 		if p.info.Root {
@@ -37,14 +39,16 @@ func (p *Processor) receiveGrow(kind wire.SnakeKind, c snake.Char, port uint8) {
 			p.rcaReceiveOG(c, port)
 			return
 		}
-		p.grow[wire.GrowIndex(wire.KindOG)].Receive(c, port)
+		p.grow[ogIdx].Receive(c, port)
+		p.live |= liveGrow1
 
 	case wire.KindBG:
 		if p.bcaI.phase != biIdle {
 			p.bcaReceiveBG(c, port)
 			return
 		}
-		p.grow[wire.GrowIndex(wire.KindBG)].Receive(c, port)
+		p.grow[bgIdx].Receive(c, port)
+		p.live |= liveGrow2
 	default:
 		panic(fmt.Sprintf("gtd: growing character of kind %v", kind))
 	}
@@ -66,6 +70,7 @@ func (p *Processor) rcaReceiveOG(c snake.Char, port uint8) {
 		p.marks.setSlot1(port, c.Out)
 		p.rca.srcPort = port
 		p.rca.conv.Arm(p.cfg.SnakeDelay, c.Out, false, wire.PayloadNone)
+		p.live |= liveRCAConv
 		p.rca.phase = rcaConverting
 	case rcaConverting:
 		if port == p.rca.srcPort && !p.rca.conv.Done() {
@@ -105,6 +110,7 @@ func (p *Processor) bcaReceiveBG(c snake.Char, port uint8) {
 		// designated in-port, its successor the head's out entry.
 		p.marks.setSlot1(port, c.Out)
 		p.bcaI.conv.Arm(p.cfg.SnakeDelay, c.Out, true, p.bcaI.payload)
+		p.live |= liveBCAConv
 		p.bcaI.phase = biConverting
 	case biConverting:
 		if port == p.bcaI.targetPort && !p.bcaI.conv.Done() {
@@ -128,7 +134,8 @@ func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 			p.rootReceiveID(c, port)
 			return
 		}
-		if ev, ok := p.die[wire.DieIndex(kind)].Receive(c, port); ok {
+		p.live |= liveDie0
+		if ev, ok := p.die[0].Receive(c, port); ok {
 			p.marks.setSlot1(ev.Pred, ev.Succ)
 		}
 
@@ -145,7 +152,8 @@ func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 			p.rcaRelease()
 			return
 		}
-		if ev, ok := p.die[wire.DieIndex(kind)].Receive(c, port); ok {
+		p.live |= liveDie1
+		if ev, ok := p.die[1].Receive(c, port); ok {
 			p.marks.setSlot2(ev.Pred, ev.Succ)
 		}
 
@@ -166,7 +174,8 @@ func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 				return
 			}
 		}
-		if ev, ok := p.die[wire.DieIndex(kind)].Receive(c, port); ok {
+		p.live |= liveDie2
+		if ev, ok := p.die[2].Receive(c, port); ok {
 			p.marks.setSlot1(ev.Pred, ev.Succ)
 			if ev.Flag {
 				// This processor is the BCA target: the payload
@@ -194,6 +203,7 @@ func (p *Processor) rootReceiveID(c snake.Char, port uint8) {
 		p.root.idActive = true
 		p.root.idSrc = port
 		p.root.odConv.Arm(p.cfg.SnakeDelay, c.Out, false, wire.PayloadNone)
+		p.live |= liveODConv
 		return
 	}
 	if port != p.root.idSrc {
@@ -248,6 +258,7 @@ func (p *Processor) receiveLoop(t wire.LoopToken, port uint8) {
 		}
 		isRootJunction := p.marks.rootJoin
 		p.marks.relay(t, port, p.cfg.loopSpeedDelay(t.Type))
+		p.live |= liveMarks
 		if isRootJunction && t.Type == wire.LoopUnmark {
 			// RCA step 5: the root reopens itself to IG-snakes.
 			p.rootReset()
@@ -330,5 +341,6 @@ func (p *Processor) handleKill() {
 	}
 	if p.killPending < 0 {
 		p.killPending = int8(p.cfg.KillDelay)
+		p.live |= liveKill
 	}
 }

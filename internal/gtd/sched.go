@@ -1,0 +1,149 @@
+package gtd
+
+import (
+	"topomap/internal/sim"
+	"topomap/internal/snake"
+)
+
+// This file implements sim.Holder for the protocol processor: the paper's
+// speed mechanics (§2.1) make a busy processor frequently *dormant* — a
+// relay carrying a speed-1 snake character acts only every third tick, a
+// loop token rests for its residual hold, a KILL token for its residue
+// delay. Hold enumerates every timer that can make the processor act
+// without input and reports the minimum ticks until the earliest can fire;
+// the engine's sparse scheduler then skips the intervening no-op steps
+// entirely and AdvanceHold replays the skipped aging in bulk. Components
+// that are busy but act only on new input (an armed converter waiting for
+// its source stream) report dormantRecheck so the processor is re-examined
+// at the cap rather than every tick; a delivery always wakes it earlier.
+//
+// The contract tying this to Busy — Hold() < 0 exactly when Busy() is
+// false — is asserted against every reachable protocol state by
+// TestHoldMatchesBusy, and the end-to-end guarantee (identical transcripts,
+// ticks, messages, and failures with and without hold scheduling) by the
+// dense-vs-sparse and adaptive-vs-forced equivalence suites.
+
+// dormantRecheck is the hold reported for busy-but-input-driven states: the
+// engine re-steps the processor after this many no-op ticks (its cap) just
+// to re-confirm the state, unless a delivery wakes it first.
+const dormantRecheck = sim.MaxHold
+
+// Hold implements sim.Holder: -1 when the processor is quiescent (exactly
+// when Busy reports false), otherwise the number of coming ticks for which
+// a Step fed only blanks is guaranteed to be a no-op. It folds the hold of
+// every live component (the occupancy mask mirrors Busy bit for bit, so a
+// clear mask is exactly quiescence); a timer missing from the mask
+// maintenance (or a hold over-reported here) would stall the protocol
+// under hold scheduling, which the equivalence suites would catch as a
+// transcript or tick divergence from the dense reference.
+func (p *Processor) Hold() int {
+	if p.rootKick || p.pendingKick != kickNone {
+		return 0
+	}
+	if p.terminated {
+		return -1
+	}
+	// Zero is the overwhelmingly common answer for an active processor (a
+	// streaming relay's front character is ready every tick), so each
+	// fold returns immediately when a component can act next tick.
+	h := -1
+	m := p.live
+	for m != 0 {
+		bit := m & (-m)
+		m &^= bit
+		var c int
+		switch bit {
+		case liveGrow0:
+			c = p.grow[0].Hold()
+		case liveGrow1:
+			c = p.grow[1].Hold()
+		case liveGrow2:
+			c = p.grow[2].Hold()
+		case liveRootConv:
+			c = p.root.conv.Hold()
+		case liveRCAIni, liveBCAIni:
+			return 0 // an armed initiator emits next tick
+		case liveDie0:
+			c = p.die[0].Hold()
+		case liveDie1:
+			c = p.die[1].Hold()
+		case liveDie2:
+			c = p.die[2].Hold()
+		case liveRCAConv:
+			c = oneConvHold(&p.rca.conv)
+		case liveODConv:
+			c = oneConvHold(&p.root.odConv)
+		case liveBCAConv:
+			c = oneConvHold(&p.bcaI.conv)
+		case liveMarks:
+			c = p.marks.hold()
+		case liveKill:
+			c = int(p.killPending) - 1
+			if c < 0 {
+				c = 0
+			}
+		}
+		if c == 0 {
+			return 0
+		}
+		if c >= 0 && (h < 0 || c < h) {
+			h = c
+		}
+	}
+	return h
+}
+
+// oneConvHold is a live converter's hold: the front character's pipeline
+// hold while characters are buffered, dormantRecheck while the conversion
+// is starved of input (a delivery wakes the processor earlier).
+func oneConvHold(c *snake.DieConverter) int {
+	if ch := c.Hold(); ch >= 0 {
+		return ch
+	}
+	return dormantRecheck
+}
+
+// AdvanceHold implements sim.Holder: replay n skipped all-blank ticks of
+// timer aging — exactly what n beginTick calls would have applied, given
+// that the hold contract rules out any release during those ticks.
+func (p *Processor) AdvanceHold(n int) {
+	m := p.live
+	for m != 0 {
+		bit := m & (-m)
+		m &^= bit
+		switch bit {
+		case liveGrow0:
+			p.grow[0].AgeN(n)
+		case liveGrow1:
+			p.grow[1].AgeN(n)
+		case liveGrow2:
+			p.grow[2].AgeN(n)
+		case liveRootConv:
+			p.root.conv.AgeN(n)
+		case liveRCAIni, liveBCAIni:
+			// Initiators hold no timers (and are never skipped:
+			// their hold is 0).
+		case liveDie0:
+			p.die[0].AgeN(n)
+		case liveDie1:
+			p.die[1].AgeN(n)
+		case liveDie2:
+			p.die[2].AgeN(n)
+		case liveRCAConv:
+			p.rca.conv.AgeN(n)
+		case liveODConv:
+			p.root.odConv.AgeN(n)
+		case liveBCAConv:
+			p.bcaI.conv.AgeN(n)
+		case liveMarks:
+			p.marks.ageN(n)
+		case liveKill:
+			if p.killPending > 0 {
+				p.killPending -= int8(n)
+				if p.killPending < 0 {
+					p.killPending = 0
+				}
+			}
+		}
+	}
+}

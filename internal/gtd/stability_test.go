@@ -32,11 +32,11 @@ func TestCanonicalPathStability(t *testing.T) {
 				for p := 1; p <= len(e.In); p++ {
 					m := e.In[p-1]
 					igIdx := wire.GrowIndex(wire.KindIG)
-					if m.HasGrow[igIdx] {
+					if m.HasGrowKind(igIdx) {
 						rec.ig += fmt.Sprintf("%v@%d;", m.Grow[igIdx], p)
 					}
 					idIdx := wire.DieIndex(wire.KindID)
-					if m.HasDie[idIdx] {
+					if m.HasDieKind(idIdx) {
 						rec.id += fmt.Sprintf("%v@%d;", m.Die[idIdx], p)
 					}
 				}

@@ -171,7 +171,7 @@ func (m *Mapper) inspect(tick int, msg *wire.Message, port uint8) {
 	// KILL tokens and BG flood traffic are protocol noise at the root in
 	// every phase.
 	for i := 0; i < wire.NumGrowKinds; i++ {
-		if !msg.HasGrow[i] {
+		if !msg.HasGrowKind(i) {
 			continue
 		}
 		c := msg.Grow[i]
@@ -187,7 +187,7 @@ func (m *Mapper) inspect(tick int, msg *wire.Message, port uint8) {
 		}
 	}
 	for i := 0; i < wire.NumDieKinds; i++ {
-		if !msg.HasDie[i] {
+		if !msg.HasDieKind(i) {
 			continue
 		}
 		c := msg.Die[i]
@@ -203,10 +203,10 @@ func (m *Mapper) inspect(tick int, msg *wire.Message, port uint8) {
 			m.onBD(tick, c, port)
 		}
 	}
-	if msg.HasLoop {
+	if msg.HasLoop() {
 		m.onLoop(tick, msg.Loop, port)
 	}
-	if msg.HasDFS {
+	if msg.HasDFS() {
 		m.onDFS(tick, msg.DFS, port)
 	}
 }

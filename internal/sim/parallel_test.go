@@ -270,9 +270,8 @@ func (f *floodNode) Step(in, out []wire.Message) {
 		f.kick = false
 		for p := 1; p <= f.info.Delta; p++ {
 			if f.info.OutWired[p-1] {
-				idx := wire.GrowIndex(wire.KindIG)
-				out[p-1].HasGrow[idx] = true
-				out[p-1].Grow[idx] = wire.GrowChar{Kind: wire.KindIG, Out: 200, In: 200}
+				// Deliberately malformed ports (200 > δ) to trip -validate.
+				out[p-1].SetGrow(wire.GrowChar{Kind: wire.KindIG, Out: 200, In: 200})
 			}
 		}
 	}

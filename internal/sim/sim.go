@@ -39,6 +39,23 @@
 // the statistics, and every observable of a run are bit-identical to the
 // sequential engine regardless of Options.Workers. The equivalence is
 // enforced by tests across graph families, seeds, and worker counts.
+//
+// # Adaptive dispatch, bursts, and hold timers
+//
+// Dispatch adapts to instantaneous activity (Options.Sched). Ticks whose
+// frontier reaches the parallel threshold fan out across the worker pool;
+// stretches of small-frontier ticks run as sequential bursts — back to back
+// on the calling goroutine, with no shard carving, no pool dispatch, one
+// panic guard per burst, and hysteresis around the crossover. Automata
+// implementing Holder report how long they are dormant (busy, but provably
+// a no-op for a known number of all-blank ticks — the paper's speed-1
+// constructs rest two ticks out of three); the engine parks them on a
+// timing wheel, replays the skipped aging in bulk before their next step,
+// and collapses globally idle ticks into an O(1) clock advance. Every
+// policy and mechanism above preserves the observables bit for bit; the
+// SchedForce policies exist to pin the dispatch for tests and measurement,
+// and Stats.SeqTicks/ParTicks/Bursts record what the scheduler actually
+// did.
 package sim
 
 import (
@@ -120,7 +137,10 @@ type TranscriptEntry struct {
 	Out  []wire.Message // by out-port, index p-1
 }
 
-// Observer receives a callback after every tick.
+// Observer receives a callback after every tick. Observers fire on every
+// tick boundary regardless of the execution policy: a sequential burst and
+// the clock-jump over globally idle ticks both invoke AfterTick once per
+// tick, in order, with the engine's Tick and Stats consistent.
 type Observer interface {
 	AfterTick(t int, e *Engine)
 }
@@ -130,6 +150,103 @@ type ObserverFunc func(t int, e *Engine)
 
 // AfterTick implements Observer.
 func (f ObserverFunc) AfterTick(t int, e *Engine) { f(t, e) }
+
+// SchedPolicy selects how the engine dispatches the work of a tick. Every
+// policy produces bit-identical transcripts, reconstructions, failures, and
+// protocol statistics (Ticks, NonBlankMessages, StepCalls, MaxActive); the
+// policy changes wall-clock time and the scheduler telemetry counters only.
+type SchedPolicy uint8
+
+const (
+	// SchedAuto (the default) matches dispatch cost to instantaneous
+	// activity: ticks whose frontier reaches the parallel threshold fan
+	// out across the worker pool; ticks below the sequential-burst
+	// threshold run in a burst — back-to-back on the calling goroutine,
+	// skipping shard carving and pool dispatch entirely, re-evaluating the
+	// policy only when the frontier grows past the hysteresis bound, the
+	// run ends, or the cancellation poll interval elapses.
+	SchedAuto SchedPolicy = iota
+	// SchedForceParallel fans every non-empty tick out across the worker
+	// pool (when Workers > 1), ignoring the work threshold. It exists for
+	// the adaptive-vs-forced equivalence suite and the E15 crossover
+	// measurements.
+	SchedForceParallel
+	// SchedForceSequential dispatches every tick on the calling
+	// goroutine, one tick per dispatch, without entering a burst: the
+	// per-tick baseline the burst fast-path is measured against.
+	SchedForceSequential
+)
+
+// String names the policy for flags and tables.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedAuto:
+		return "auto"
+	case SchedForceParallel:
+		return "parallel"
+	case SchedForceSequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("SchedPolicy(%d)", uint8(p))
+}
+
+// ParseSchedPolicy parses a policy name as accepted by the CLI -sched
+// flags: auto, seq/sequential, par/parallel.
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "auto", "":
+		return SchedAuto, nil
+	case "seq", "sequential":
+		return SchedForceSequential, nil
+	case "par", "parallel":
+		return SchedForceParallel, nil
+	}
+	return SchedAuto, fmt.Errorf("sim: unknown scheduling policy %q (want auto, seq, or par)", s)
+}
+
+// MaxHold caps the hold a Holder may report: an automaton sleeping longer
+// than this is woken (at most) every MaxHold+1 ticks to re-report. The cap
+// bounds the timing-wheel span; protocol holds (snake pipeline delays, token
+// residence, KILL residue) are all well below it.
+const MaxHold = 14
+
+// wheelSlots is the timing-wheel ring size; it must exceed MaxHold+1 so a
+// scheduled wake never collides with an older lap of the ring.
+const wheelSlots = 16
+
+// Holder is implemented by automata that can report scheduling needs more
+// precisely than the boolean Busy: the paper's speed mechanics make a busy
+// processor often *dormant* — e.g. a relay holding a speed-1 character acts
+// only every third tick. Hold lets the sparse frontier scheduler skip the
+// intervening no-op steps entirely; a timing wheel re-schedules the node
+// when its hold expires, and AdvanceHold replays the skipped aging in bulk
+// just before the next Step.
+//
+// The engine consults Hold (instead of Busy) right after each Step of an
+// implementing automaton under sparse scheduling. The contract extends the
+// Busy contract of Automaton:
+//
+//  1. Hold() < 0 must hold exactly when Busy() is false.
+//  2. Hold() == k ≥ 0 promises that, fed all-blank inputs, the automaton's
+//     Steps for the next k ticks would be no-ops that emit nothing and
+//     change nothing except internal timers (pipeline ages, residual
+//     holds), and that Busy stays true throughout. The engine then steps
+//     the node again k+1 ticks later (or earlier, if a symbol is
+//     delivered to it first). k is clamped to MaxHold; reporting a
+//     smaller k than possible is always safe, a larger one never is.
+//  3. AdvanceHold(n) must apply exactly the timer aging those n skipped
+//     all-blank ticks would have applied, for any n ≤ the last reported
+//     hold. The engine calls it (with n = skipped ticks) immediately
+//     before the Step that ends a skip; an automaton that was quiescent
+//     at its last step may also receive the call with arbitrary n, which
+//     must then be a no-op.
+//
+// Automata that do not implement Holder are scheduled from Busy alone, every
+// tick while busy, exactly as before.
+type Holder interface {
+	Hold() int
+	AdvanceHold(n int)
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -171,6 +288,19 @@ type Options struct {
 	// tests and the E9/E10 sweeps set it to 1 to force the parallel
 	// path; 0 keeps the default.
 	ParallelThreshold int
+	// Sched selects the execution policy: SchedAuto (default) bursts
+	// small-frontier ticks sequentially and fans large ones out;
+	// SchedForceSequential and SchedForceParallel pin the dispatch for
+	// equivalence testing and crossover measurement. Every policy yields
+	// bit-identical transcripts and protocol statistics.
+	Sched SchedPolicy
+	// SeqThreshold tunes the burst crossover of SchedAuto: a tick whose
+	// frontier is strictly below it enters a sequential burst, which runs
+	// until the frontier reaches the hysteresis bound
+	// max(2·SeqThreshold, ParallelThreshold). 0 picks the default —
+	// half the parallel threshold with multiple workers, unbounded
+	// (always burst) with one.
+	SeqThreshold int
 	// RetainPool keeps the parked worker pool alive when a run finishes
 	// instead of releasing it, so an engine reused via Reset skips the
 	// pool restart on the next run. The owner must call Close when done;
@@ -183,12 +313,29 @@ type Options struct {
 	Cancel func() error
 }
 
-// Stats summarises a run.
+// Stats summarises a run. Ticks, NonBlankMessages, StepCalls, and MaxActive
+// are protocol observables covered by the determinism guarantee: identical
+// for every worker count and scheduling policy. SeqTicks, ParTicks, and
+// Bursts are scheduler telemetry — they describe how the run was dispatched
+// (and so vary with Workers and Sched by design) and are excluded from the
+// equivalence guarantee.
 type Stats struct {
 	Ticks            int
 	NonBlankMessages int64 // total non-blank symbols delivered
 	StepCalls        int64 // automaton steps executed
 	MaxActive        int   // peak simultaneously active processors
+
+	SeqTicks int64 // ticks dispatched on the calling goroutine (incl. idle ticks)
+	ParTicks int64 // ticks fanned out across the worker pool
+	Bursts   int64 // sequential bursts entered by SchedAuto
+}
+
+// Observables returns the policy-invariant subset of the statistics: the
+// fields the determinism guarantee covers, with the scheduler telemetry
+// zeroed. Equivalence tests compare these.
+func (s Stats) Observables() Stats {
+	s.SeqTicks, s.ParTicks, s.Bursts = 0, 0, 0
+	return s
 }
 
 // Engine executes a network of automata in lockstep over a graph. An engine
@@ -246,9 +393,37 @@ type Engine struct {
 
 	// The double-buffered frontier: frontier lists the nodes to step this
 	// tick in ascending order; frontierNext accumulates next tick's
-	// (merged from per-shard buffers after the barrier, then sorted).
+	// (merged from per-shard buffers after the barrier, then sorted and
+	// deduplicated against timing-wheel wakes).
 	frontier     []int32
 	frontierNext []int32
+
+	// The timing wheel holds dormant-but-busy nodes: a Holder automaton
+	// that reports a positive hold after its step is parked in the slot
+	// of its wake tick instead of riding the frontier through every
+	// intervening no-op tick. wakeStamp[v] is the epoch at which v's
+	// (single) pending wake is due — 0 means none; an entry whose stamp
+	// no longer matches at promote time is stale (the node was stepped
+	// earlier, e.g. by a delivery) and is dropped. wheelLive counts live
+	// (non-stale) wakes: quiescence under sparse scheduling is an empty
+	// frontier AND an empty wheel. holders/lastStep cache the Holder
+	// interface per node and the epoch of each node's last step, so the
+	// skipped aging can be replayed in bulk via AdvanceHold.
+	wheel     [wheelSlots][]int32
+	wakeStamp []uint64
+	wheelLive int
+	holders   []Holder
+	lastStep  []uint64
+
+	// Resolved SchedAuto burst thresholds: enter a burst when the
+	// frontier is below seqEnter, leave it at seqExit (hysteresis).
+	seqEnter int
+	seqExit  int
+
+	// rootTerm caches the root automaton's Terminator interface (nil if
+	// not implemented), so the per-tick terminal check is a nil test
+	// rather than a type assertion.
+	rootTerm Terminator
 	// seeded records that the initial frontier — every processor that
 	// reports Busy() before the first tick — has been collected. Seeding
 	// is deferred to the first tick so automata may be armed (e.g.
@@ -284,20 +459,30 @@ type Engine struct {
 
 // shard is one worker's contiguous slice of the tick's work — frontier
 // indices under sparse scheduling, node indices in Naive mode — plus its
-// private tick tallies and next-frontier appends; both are merged in
-// shard-index order after the barrier, so nothing depends on goroutine
-// scheduling. The fields occupy 88 bytes on 64-bit targets; the padding
-// rounds the struct to 128 bytes (two cache lines) so adjacent shards' hot
-// counters never share a line.
+// private tick tallies, next-frontier appends, and timing-wheel traffic
+// (wake records and stale-entry counts); all are merged in shard-index
+// order after the barrier, so nothing depends on goroutine scheduling. The
+// fields occupy 120 bytes on 64-bit targets; the padding rounds the struct
+// to 128 bytes (two cache lines) so adjacent shards' hot counters never
+// share a line.
 type shard struct {
 	lo, hi    int
 	stepCalls int64
 	nonBlank  int64
 	lives     int64 // nodes first-delivered a symbol this tick
+	unwoke    int64 // pending wheel wakes invalidated by an early step
 	anyActive bool
 	panicked  any
-	next      []int32 // frontier appends for tick t+1 (sparse mode)
-	_         [40]byte
+	next      []int32   // frontier appends for tick t+1 (sparse mode)
+	wakes     []wakeRec // timing-wheel appends (sparse mode)
+	_         [8]byte
+}
+
+// wakeRec is one deferred wake: schedule node v hold+1 ticks after the tick
+// that recorded it.
+type wakeRec struct {
+	v    int32
+	hold int8
 }
 
 // Errors returned by Run.
@@ -377,12 +562,18 @@ func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 		} else {
 			e.procs[v] = e.factory(info)
 		}
+		e.holders[v], _ = e.procs[v].(Holder)
 	}
+	e.rootTerm, _ = e.procs[root].(Terminator)
 
 	e.rootIn, e.rootOut = nil, nil
 	e.epoch = 1
 	e.frontier = e.frontier[:0]
 	e.frontierNext = e.frontierNext[:0]
+	for i := range e.wheel {
+		e.wheel[i] = e.wheel[i][:0]
+	}
+	e.wheelLive = 0
 	e.seeded = false
 	e.tick = 0
 	e.stats = Stats{}
@@ -433,6 +624,14 @@ func (e *Engine) resizeBuffers(n, delta int) {
 	e.hasStamp = resetStamps(e.hasStamp, n)
 	e.nextHasStamp = resetStamps(e.nextHasStamp, n)
 	e.enqStamp = resetStamps(e.enqStamp, n)
+	e.wakeStamp = resetStamps(e.wakeStamp, n)
+	e.lastStep = resetStamps(e.lastStep, n)
+
+	if cap(e.holders) >= n {
+		e.holders = e.holders[:n]
+	} else {
+		e.holders = make([]Holder, n)
+	}
 
 	// Keep automata from shrunken runs in the slice's spare capacity so a
 	// later growth recovers (and resets) them instead of reconstructing.
@@ -482,15 +681,26 @@ func (e *Engine) resetWorkers(n int) {
 		e.stopPool()
 		e.shards = nil
 		e.parMin = 0
+		e.resetBurstThresholds()
 		return
 	}
 	e.parMin = 4 * w
 	if e.parMin < 16 {
 		e.parMin = 16
 	}
+	if w > runtime.GOMAXPROCS(0) {
+		// More workers than schedulable cores: the fan-out can never
+		// pay for its dispatch (the "parallel" shards just time-slice
+		// one core plus channel hops), so the auto policy's crossover
+		// moves out of reach. Forced policies and an explicit
+		// ParallelThreshold still exercise the parallel path — the
+		// results are identical either way, this is wall-clock only.
+		e.parMin = int(^uint(0) >> 1)
+	}
 	if e.opts.ParallelThreshold > 0 {
 		e.parMin = e.opts.ParallelThreshold
 	}
+	e.resetBurstThresholds()
 	if len(e.shards) != w {
 		e.stopPool()
 		if cap(e.shards) >= w {
@@ -511,6 +721,35 @@ func (e *Engine) resetWorkers(n int) {
 		}
 		e.shards[i] = shard{lo: lo, hi: hi, next: e.shards[i].next[:0]}
 	}
+}
+
+// resetBurstThresholds resolves the SchedAuto burst crossover with
+// hysteresis: enter a burst strictly below seqEnter, leave it at seqExit.
+// With one worker every tick is sequential anyway, so bursting is always a
+// win and the thresholds are unbounded; with a pool the defaults hand off
+// to the parallel path exactly where the fan-out starts paying.
+func (e *Engine) resetBurstThresholds() {
+	const unbounded = int(^uint(0) >> 1)
+	if e.workers <= 1 {
+		e.seqEnter, e.seqExit = unbounded, unbounded
+		if e.opts.SeqThreshold > 0 {
+			e.seqEnter = e.opts.SeqThreshold
+			e.seqExit = 2 * e.opts.SeqThreshold
+		}
+		return
+	}
+	enter := e.parMin / 2
+	if enter < 8 {
+		enter = 8
+	}
+	if e.opts.SeqThreshold > 0 {
+		enter = e.opts.SeqThreshold
+	}
+	exit := 2 * enter
+	if exit < e.parMin {
+		exit = e.parMin
+	}
+	e.seqEnter, e.seqExit = enter, exit
 }
 
 // Graph returns the engine's topology (read-only by convention).
@@ -541,10 +780,17 @@ func (e *Engine) FrontierLen() int { return len(e.frontier) }
 // hatch for harnesses that arm an automaton externally (e.g. gtd.StartRCA)
 // *between* ticks of a run in flight: the frontier scheduler assumes
 // automaton state changes only inside Step, so an externally armed node
-// must be woken or it will not be scheduled until a symbol arrives. Waking
-// an idle node is harmless (its Step is a no-op by the Automaton contract)
-// and idempotent. Wake must not be called while a tick is executing; in
-// Naive mode it is a no-op since every node steps anyway.
+// must be woken or it will not be scheduled until a symbol arrives.
+//
+// Wake is safe and idempotent for a node already scheduled for the coming
+// tick — the frontier's epoch stamp deduplicates the insert, whether the
+// node got there by delivery, by a busy re-enqueue, by a timing-wheel wake,
+// or by an earlier Wake — and waking an idle node is harmless (its Step is
+// a no-op by the Automaton contract). Wake must not be called while a tick
+// is executing; tick boundaries inside a sequential burst are legal call
+// sites (an Observer calling Wake mid-burst has the node stepped on the
+// very next tick, exactly once — the burst loop re-reads the frontier every
+// iteration). In Naive mode Wake is a no-op since every node steps anyway.
 func (e *Engine) Wake(v int) {
 	if !e.sparse || v < 0 || v >= e.g.N() {
 		return
@@ -587,8 +833,7 @@ func (e *Engine) seedFrontier() {
 // rootTerminated reports whether the root automaton has reached its terminal
 // state.
 func (e *Engine) rootTerminated() bool {
-	t, ok := e.procs[e.opts.Root].(Terminator)
-	return ok && t.Terminated()
+	return e.rootTerm != nil && e.rootTerm.Terminated()
 }
 
 // claimStamp claims plane[v] for the value next, reporting whether this
@@ -641,6 +886,24 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 	delta := e.delta
 	in := e.in[v]
 	out := e.outBuf[v]
+	var hld Holder
+	if e.sparse {
+		// Timing-wheel catch-up: a pending wake becomes stale the moment
+		// the node is stepped (an earlier delivery beat the timer), and
+		// aging skipped while the node was parked is replayed in bulk.
+		// wakeStamp/lastStep are written only by the worker that owns
+		// this node's step, so no synchronisation is needed.
+		if hld = e.holders[v]; hld != nil {
+			if e.wakeStamp[v] != 0 {
+				e.wakeStamp[v] = 0
+				sh.unwoke++
+			}
+			if last := e.lastStep[v]; last != 0 && e.epoch-last > 1 {
+				hld.AdvanceHold(int(e.epoch - last - 1))
+			}
+			e.lastStep[v] = e.epoch
+		}
+	}
 	e.procs[v].Step(in, out)
 	sh.stepCalls++
 	nonBlankOut := false
@@ -674,20 +937,56 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 		}
 	}
 	// Clear the consumed inputs and reset the out buffer; both are
-	// private to this node.
+	// private to this node. Blanking resets only the presence mask and
+	// KILL flag — stale channel payloads are unreadable behind a clear
+	// mask, and every consumer (including the transcript fingerprints)
+	// goes through the mask accessors.
 	if hasIn {
 		for p := 0; p < delta; p++ {
-			in[p] = wire.Message{}
+			in[p].Blank()
 		}
 	}
 	if nonBlankOut {
 		for p := 0; p < delta; p++ {
-			out[p] = wire.Message{}
+			out[p].Blank()
 		}
 	}
-	if e.sparse && e.procs[v].Busy() {
+	if !e.sparse {
+		return
+	}
+	// Re-schedule: a Holder reports its precise need (quiescent, next
+	// tick, or a positive hold that parks it on the timing wheel); other
+	// automata ride the frontier every tick they report Busy.
+	if hld != nil {
+		switch h := hld.Hold(); {
+		case h < 0:
+			// Quiescent: scheduled again only by a delivery.
+		case h == 0:
+			e.enqueueNext(v, sh, par)
+		default:
+			if h > MaxHold {
+				h = MaxHold
+			}
+			e.scheduleWake(v, h, sh, par)
+		}
+	} else if e.procs[v].Busy() {
 		e.enqueueNext(v, sh, par)
 	}
+}
+
+// scheduleWake parks v on the timing wheel, due h+1 ticks after the tick in
+// flight. The wake stamp is written by the owning worker; under a parallel
+// tick the slot append and live-count update are deferred to the post-
+// barrier merge (shard-ordered), the sequential path applies them directly.
+func (e *Engine) scheduleWake(v, h int, sh *shard, par bool) {
+	e.wakeStamp[v] = e.epoch + 1 + uint64(h)
+	if par {
+		sh.wakes = append(sh.wakes, wakeRec{v: int32(v), hold: int8(h)})
+		return
+	}
+	e.wheelLive++
+	slot := (e.tick + 1 + h) % wheelSlots
+	e.wheel[slot] = append(e.wheel[slot], int32(v))
 }
 
 // stepFrontier steps the given slice of the tick's frontier. Every frontier
@@ -724,18 +1023,22 @@ func (e *Engine) stepRangeDense(lo, hi int, sh *shard, par bool) {
 // first-delivered a symbol for the next tick.
 func (e *Engine) stepSequential() (bool, int) {
 	sh := &e.seqSh
-	sh.stepCalls, sh.nonBlank, sh.lives, sh.anyActive = 0, 0, 0, false
+	sh.stepCalls, sh.nonBlank, sh.lives, sh.unwoke, sh.anyActive = 0, 0, 0, 0, false
 	if e.sparse {
-		// Append straight into the engine's next-frontier buffer.
+		// Append straight into the engine's next-frontier buffer; wheel
+		// traffic is applied in place (scheduleWake), only invalidations
+		// are tallied.
 		sh.next = e.frontierNext
 		e.stepFrontier(e.frontier, sh, false)
 		e.frontierNext = sh.next
 		sh.next = nil
+		e.wheelLive -= int(sh.unwoke)
 	} else {
 		e.stepRangeDense(0, e.g.N(), sh, false)
 	}
 	e.stats.StepCalls += sh.stepCalls
 	e.stats.NonBlankMessages += sh.nonBlank
+	e.stats.SeqTicks++
 	return sh.anyActive, int(sh.lives)
 }
 
@@ -827,8 +1130,9 @@ func (e *Engine) stepParallel() (bool, int) {
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]
-		sh.stepCalls, sh.nonBlank, sh.lives, sh.anyActive, sh.panicked = 0, 0, 0, false, nil
+		sh.stepCalls, sh.nonBlank, sh.lives, sh.unwoke, sh.anyActive, sh.panicked = 0, 0, 0, 0, false, nil
 		sh.next = sh.next[:0]
+		sh.wakes = sh.wakes[:0]
 	}
 	for _, ch := range e.startCh {
 		ch <- struct{}{}
@@ -842,7 +1146,7 @@ func (e *Engine) stepParallel() (bool, int) {
 	for w := range e.shards {
 		sh := &e.shards[w]
 		if sh.panicked != nil {
-			// RunOne's panic guard releases the pool on the way out.
+			// The tick's panic guard releases the pool on the way out.
 			panic(sh.panicked)
 		}
 		e.stats.StepCalls += sh.stepCalls
@@ -851,17 +1155,24 @@ func (e *Engine) stepParallel() (bool, int) {
 		anyActive = anyActive || sh.anyActive
 		if e.sparse {
 			e.frontierNext = append(e.frontierNext, sh.next...)
+			e.wheelLive -= int(sh.unwoke)
+			for _, wk := range sh.wakes {
+				e.wheelLive++
+				slot := (e.tick + 1 + int(wk.hold)) % wheelSlots
+				e.wheel[slot] = append(e.wheel[slot], wk.v)
+			}
 		}
 	}
+	e.stats.ParTicks++
 	return anyActive, lives
 }
 
-// parallelTick reports whether the coming pulse has enough work to amortise
-// the worker fan-out. Unlike the old heuristic prediction, the frontier
-// *is* the tick's work set, so the decision is exact; in Naive mode every
-// node steps. Both paths produce identical state, so mixing them within a
-// run preserves the determinism guarantee.
-func (e *Engine) parallelTick() bool {
+// dispatchParallel reports whether the coming pulse should fan out across
+// the worker pool, per the scheduling policy. Under SchedAuto the frontier
+// *is* the tick's work set, so the crossover decision is exact; in Naive
+// mode every node steps. Both paths produce identical state, so mixing them
+// within a run preserves the determinism guarantee.
+func (e *Engine) dispatchParallel() bool {
 	if e.workers <= 1 {
 		return false
 	}
@@ -869,7 +1180,96 @@ func (e *Engine) parallelTick() bool {
 	if !e.sparse {
 		work = e.g.N()
 	}
+	if work == 0 {
+		return false
+	}
+	switch e.opts.Sched {
+	case SchedForceSequential:
+		return false
+	case SchedForceParallel:
+		return true
+	}
 	return work >= e.parMin
+}
+
+// promoteFrontier installs the frontier for the tick the engine has just
+// advanced to: the deliveries and hold-0 re-enqueues accumulated last tick,
+// merged with the timing-wheel slot now due. Stale wheel entries (their
+// node was stepped early, invalidating the stamp) are dropped; live ones
+// claim the enqueue stamp so a subsequent Wake deduplicates against them,
+// and the merged set is sorted and compacted so a node scheduled by both a
+// delivery and a timer steps exactly once.
+func (e *Engine) promoteFrontier() {
+	next := e.frontierNext
+	slot := &e.wheel[e.tick%wheelSlots]
+	if len(*slot) > 0 {
+		for _, v := range *slot {
+			if e.wakeStamp[v] == e.epoch {
+				e.wakeStamp[v] = 0
+				e.enqStamp[v] = e.epoch
+				e.wheelLive--
+				next = append(next, v)
+			}
+		}
+		*slot = (*slot)[:0]
+	}
+	slices.Sort(next)
+	next = slices.Compact(next)
+	e.frontier, e.frontierNext = next, e.frontier[:0]
+}
+
+// finishTick closes the tick in flight: root transcript delivery, activity
+// accounting, plane swaps, frontier promotion, observers, and the
+// quiescence check. It is shared verbatim by the per-tick path (RunOne) and
+// the sequential burst, which is what keeps every execution policy
+// bit-identical in its observables.
+func (e *Engine) finishTick(anyActive bool, lives int) (bool, error) {
+	if e.rootIn != nil {
+		e.opts.Transcript(TranscriptEntry{Tick: e.tick, In: e.rootIn, Out: e.rootOut})
+	}
+
+	// The tick's live total was counted at delivery time (stamp winners),
+	// never by scanning nodes. Swap the wire and stamp planes, advance
+	// the epoch, and promote the merged, sorted next frontier. Inputs
+	// consumed this tick were already cleared node-locally in stepNode;
+	// the stamp planes need no clearing at all (stale epochs never match).
+	if lives > e.stats.MaxActive {
+		e.stats.MaxActive = lives
+	}
+	e.in, e.nextIn = e.nextIn, e.in
+	e.hasStamp, e.nextHasStamp = e.nextHasStamp, e.hasStamp
+	e.epoch++
+	e.tick++
+	e.stats.Ticks = e.tick
+	if e.sparse {
+		e.promoteFrontier()
+	}
+
+	for _, ob := range e.opts.Observers {
+		ob.AfterTick(e.tick-1, e)
+	}
+
+	// Quiescence: under sparse scheduling an empty next frontier with an
+	// empty timing wheel *is* global quiescence (no symbol in flight, no
+	// busy processor — busy nodes re-enqueue themselves or park a wake);
+	// the dense path sweeps, as it must.
+	quiet := !anyActive
+	if quiet {
+		if e.sparse {
+			quiet = len(e.frontier) == 0 && e.wheelLive == 0
+		} else {
+			quiet = !e.anyPending()
+		}
+	}
+	if quiet {
+		e.done = true
+		e.releasePool()
+		if e.opts.StopWhenQuiescent || e.rootTerminated() {
+			return false, nil
+		}
+		return false, ErrDeadlock
+	}
+	return true, nil
 }
 
 // RunOne executes a single tick. It returns false when the run has finished
@@ -906,58 +1306,98 @@ func (e *Engine) RunOne() (bool, error) {
 	e.rootIn, e.rootOut = nil, nil
 	var anyActive bool
 	var lives int
-	if e.parallelTick() {
+	if e.dispatchParallel() {
 		anyActive, lives = e.stepParallel()
 	} else {
 		anyActive, lives = e.stepSequential()
 	}
+	return e.finishTick(anyActive, lives)
+}
 
-	if e.rootIn != nil {
-		e.opts.Transcript(TranscriptEntry{Tick: e.tick, In: e.rootIn, Out: e.rootOut})
-	}
-
-	// The tick's live total was counted at delivery time (stamp winners),
-	// never by scanning nodes. Swap the wire and stamp planes, advance
-	// the epoch, and promote the merged, sorted next frontier. Inputs
-	// consumed this tick were already cleared node-locally in stepNode;
-	// the stamp planes need no clearing at all (stale epochs never match).
-	if lives > e.stats.MaxActive {
-		e.stats.MaxActive = lives
-	}
-	e.in, e.nextIn = e.nextIn, e.in
-	e.hasStamp, e.nextHasStamp = e.nextHasStamp, e.hasStamp
+// advanceIdleTick executes a globally idle tick — empty frontier, pending
+// timing-wheel wakes — in O(1): no deliveries are outstanding, so the wire
+// planes are blank on both sides and the stamp planes stale on both sides;
+// advancing the epoch is equivalent to the swaps a full tick would perform.
+// Observers still fire, the tick still counts, and the due wheel slot is
+// still promoted, so the tick is indistinguishable from a dispatched one.
+func (e *Engine) advanceIdleTick() {
 	e.epoch++
-	if e.sparse {
-		slices.Sort(e.frontierNext)
-		e.frontier, e.frontierNext = e.frontierNext, e.frontier[:0]
-	}
-
 	e.tick++
 	e.stats.Ticks = e.tick
+	e.stats.SeqTicks++
+	e.promoteFrontier()
 	for _, ob := range e.opts.Observers {
 		ob.AfterTick(e.tick-1, e)
 	}
+}
 
-	// Quiescence: under sparse scheduling an empty next frontier *is*
-	// global quiescence (no symbol in flight, no busy processor — busy
-	// nodes re-enqueue themselves); the dense path sweeps, as it must.
-	quiet := !anyActive
-	if quiet {
-		if e.sparse {
-			quiet = len(e.frontier) == 0
-		} else {
-			quiet = !e.anyPending()
-		}
+// burstReady reports whether Run may enter a sequential burst for the
+// coming tick: adaptive policy, sparse scheduling, a seeded live run, and a
+// frontier below the crossover threshold.
+func (e *Engine) burstReady() bool {
+	return e.sparse && e.opts.Sched == SchedAuto && e.seeded && !e.done &&
+		len(e.frontier) < e.seqEnter
+}
+
+// burstCancelInterval is how many burst ticks run between Options.Cancel
+// polls: bursts trade per-tick cancellation for dispatch cost, keeping
+// cancellation latency bounded by a few microseconds of simulated ticks.
+const burstCancelInterval = 64
+
+// runBurst is the sequential burst fast-path of SchedAuto: ticks run
+// back-to-back on the calling goroutine with no shard carving, no pool
+// dispatch, and no per-tick panic guard, and globally idle ticks collapse
+// to an O(1) clock advance. The loop re-evaluates the policy only when the
+// frontier grows past the hysteresis bound, the run ends (terminal,
+// quiescent, budget), or the cancellation poll interval elapses; Observer
+// and Transcript callbacks still fire on every tick boundary, and an
+// Observer calling Wake is honoured on the very next tick (the frontier is
+// re-read every iteration). State evolution is shared with RunOne
+// (stepSequential + finishTick), so a burst changes wall-clock only, never
+// an observable.
+func (e *Engine) runBurst() (bool, error) {
+	e.stats.Bursts++
+	if e.workers > 1 {
+		// One pool guard per burst instead of per tick: a panic escaping
+		// any tick of the burst still releases the parked pool.
+		defer func() {
+			if r := recover(); r != nil {
+				e.stopPool()
+				panic(r)
+			}
+		}()
 	}
-	if quiet {
-		e.done = true
-		e.releasePool()
-		if e.opts.StopWhenQuiescent || e.rootTerminated() {
+	cancel := e.opts.Cancel
+	for n := 1; ; n++ {
+		if e.rootTerminated() {
+			e.done = true
+			e.releasePool()
 			return false, nil
 		}
-		return false, ErrDeadlock
+		if e.tick >= e.opts.MaxTicks {
+			e.releasePool()
+			return false, fmt.Errorf("%w (tick %d)", ErrMaxTicks, e.tick)
+		}
+		if cancel != nil && n%burstCancelInterval == 0 {
+			if err := cancel(); err != nil {
+				e.releasePool()
+				return false, fmt.Errorf("sim: run cancelled at tick %d: %w", e.tick, err)
+			}
+		}
+		if len(e.frontier) == 0 && e.wheelLive > 0 {
+			e.advanceIdleTick()
+			continue
+		}
+		e.rootIn, e.rootOut = nil, nil
+		anyActive, lives := e.stepSequential()
+		more, err := e.finishTick(anyActive, lives)
+		if err != nil || !more {
+			return more, err
+		}
+		if len(e.frontier) >= e.seqExit {
+			return true, nil
+		}
 	}
-	return true, nil
 }
 
 // anyPending reports whether any symbol is in flight or any processor busy:
@@ -974,7 +1414,9 @@ func (e *Engine) anyPending() bool {
 
 // Run executes ticks until the root terminates, the network quiesces, the
 // tick budget is exhausted, or Options.Cancel reports cancellation, and
-// returns the statistics.
+// returns the statistics. Under SchedAuto, stretches of small-frontier
+// ticks run as sequential bursts (see runBurst); every policy yields the
+// same observables.
 func (e *Engine) Run() (Stats, error) {
 	for {
 		if e.opts.Cancel != nil {
@@ -983,7 +1425,13 @@ func (e *Engine) Run() (Stats, error) {
 				return e.stats, fmt.Errorf("sim: run cancelled at tick %d: %w", e.tick, err)
 			}
 		}
-		more, err := e.RunOne()
+		var more bool
+		var err error
+		if e.burstReady() {
+			more, err = e.runBurst()
+		} else {
+			more, err = e.RunOne()
+		}
 		if err != nil {
 			return e.stats, err
 		}

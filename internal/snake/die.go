@@ -45,6 +45,14 @@ func NewDieRelay(delay int) DieRelay {
 // Busy reports whether the relay still holds characters to forward.
 func (r *DieRelay) Busy() bool { return r.pipe.Len() > 0 }
 
+// Hold returns the front character's remaining pipeline hold, or -1 when
+// the relay holds nothing (a mid-stream relay with a drained pipe acts only
+// on new input).
+func (r *DieRelay) Hold() int { return r.pipe.Hold() }
+
+// AgeN replays n skipped all-blank ticks of pipeline aging.
+func (r *DieRelay) AgeN(n int) { r.pipe.AgeN(n) }
+
 // Active reports whether the relay is mid-stream.
 func (r *DieRelay) Active() bool { return r.state != dieIdle }
 
@@ -167,6 +175,20 @@ func (c *DieConverter) Armed() bool { return c.armed }
 
 // Busy reports whether characters remain buffered.
 func (c *DieConverter) Busy() bool { return !c.done && (c.pipe.Len() > 0 || c.lookHas) }
+
+// Hold returns how many further ticks the converter is certain to emit
+// nothing, or -1 when it cannot emit spontaneously at all (unarmed, done,
+// or drained — a held look-ahead character moves only on new input, which
+// wakes the owning processor by delivery).
+func (c *DieConverter) Hold() int {
+	if !c.armed || c.done {
+		return -1
+	}
+	return c.pipe.Hold()
+}
+
+// AgeN replays n skipped all-blank ticks of pipeline aging.
+func (c *DieConverter) AgeN(n int) { c.pipe.AgeN(n) }
 
 // Done reports whether the tail has been forwarded.
 func (c *DieConverter) Done() bool { return c.done }

@@ -47,6 +47,19 @@ func NewGrowRelay(delay int) GrowRelay {
 // Busy reports whether the relay still holds characters to forward.
 func (r *GrowRelay) Busy() bool { return r.pipe.Len() > 0 || r.tailPending }
 
+// Hold returns how many further ticks the relay is certain to emit nothing
+// (-1 when it is not busy at all): 0 for a pending tail re-emission, the
+// front character's remaining pipeline hold otherwise.
+func (r *GrowRelay) Hold() int {
+	if r.tailPending {
+		return 0
+	}
+	return r.pipe.Hold()
+}
+
+// AgeN replays n skipped all-blank ticks of pipeline aging.
+func (r *GrowRelay) AgeN(n int) { r.pipe.AgeN(n) }
+
 // PipeLen returns the number of buffered characters (tail-pending counts as
 // one), for residue accounting.
 func (r *GrowRelay) PipeLen() int {

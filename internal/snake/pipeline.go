@@ -77,17 +77,21 @@ const Speed1Delay = 2
 const Speed3Delay = 0
 
 type pipeItem struct {
-	c   Char
-	age int8
+	c Char
+	// at is the pipeline clock reading when the character arrived; its
+	// residence time is clock-at, so aging the whole queue is a single
+	// clock increment.
+	at int32
 }
 
 // Pipeline is the bounded constant-delay FIFO through which snake characters
 // stream across a processor. Call Age once per tick before Push/Pop.
 type Pipeline struct {
 	delay int8
-	buf   [pipeCap]pipeItem
 	head  int8
 	n     int8
+	clock int32
+	buf   [pipeCap]pipeItem
 }
 
 // NewPipeline returns a pipeline with the given extra hold in ticks
@@ -100,30 +104,53 @@ func NewPipeline(delay int) Pipeline {
 }
 
 // Age advances the residence time of every queued character by one tick.
-func (p *Pipeline) Age() {
-	for i := int8(0); i < p.n; i++ {
-		p.buf[(p.head+i)%pipeCap].age++
-	}
-}
+// O(1): only the clock moves. The clock rebases to zero whenever the
+// pipeline drains (see Pop/Clear), so it never overflows — a single
+// occupancy stretch is bounded by the snake passage length.
+func (p *Pipeline) Age() { p.clock++ }
+
+// AgeN advances every queued character's residence time by n ticks at once:
+// the bulk equivalent of n successive Age calls, used to replay ticks the
+// scheduler skipped while the owning processor was provably dormant.
+func (p *Pipeline) AgeN(n int) { p.clock += int32(n) }
 
 // Push enqueues a character that arrived this tick.
 func (p *Pipeline) Push(c Char) {
 	if p.n == pipeCap {
 		panic("snake: pipeline overflow — protocol bug")
 	}
-	p.buf[(p.head+p.n)%pipeCap] = pipeItem{c: c}
+	p.buf[(p.head+p.n)%pipeCap] = pipeItem{c: c, at: p.clock}
 	p.n++
 }
 
 // Pop removes and returns the front character if it has completed its hold.
 func (p *Pipeline) Pop() (Char, bool) {
-	if p.n == 0 || p.buf[p.head].age < p.delay {
+	if p.n == 0 || p.clock-p.buf[p.head].at < int32(p.delay) {
 		return Char{}, false
 	}
 	c := p.buf[p.head].c
 	p.head = (p.head + 1) % pipeCap
 	p.n--
+	if p.n == 0 {
+		p.head, p.clock = 0, 0
+	}
 	return c, true
+}
+
+// Hold returns the number of ticks for which the pipeline is certain to
+// release nothing: popping first becomes possible on the (Hold+1)-th next
+// tick. It returns -1 when the pipeline is empty (nothing will ever emerge
+// without new input). A front character that has already completed its hold
+// (queued behind this tick's release) yields 0.
+func (p *Pipeline) Hold() int {
+	if p.n == 0 {
+		return -1
+	}
+	h := int(p.delay) - int(p.clock-p.buf[p.head].at) - 1
+	if h < 0 {
+		return 0
+	}
+	return h
 }
 
 // Len returns the number of queued characters.
@@ -133,4 +160,5 @@ func (p *Pipeline) Len() int { return int(p.n) }
 func (p *Pipeline) Clear() {
 	p.head = 0
 	p.n = 0
+	p.clock = 0
 }

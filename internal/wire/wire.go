@@ -247,81 +247,121 @@ type DFSToken struct {
 	Out uint8
 }
 
+// Presence bits of Message.Has. One bit per channel: growing kinds occupy
+// bits 0..NumGrowKinds-1, dying kinds the next block, then the loop and DFS
+// tokens. The packed mask makes the blank test — the single hottest
+// predicate of the simulation — one load and compare instead of a walk over
+// eight flags, and lets receivers dispatch on occupied channels only.
+const (
+	growBit0 uint16 = 1 << iota
+	growBit1
+	growBit2
+	dieBit0
+	dieBit1
+	dieBit2
+	loopBit
+	dfsBit
+)
+
 // Message is the complete symbol carried by one wire during one global clock
 // tick. The zero value is the blank character b sent by quiescent processors.
-// Each channel holds at most one construct; Has* flags indicate presence.
+// Each channel holds at most one construct; the Has mask records presence
+// (use the Set*/HasGrowKind/HasDieKind/HasLoop/HasDFS accessors — channel
+// payloads are meaningful only when the matching bit is set).
 type Message struct {
-	Grow    [NumGrowKinds]GrowChar
-	HasGrow [NumGrowKinds]bool
+	Grow [NumGrowKinds]GrowChar
+	Die  [NumDieKinds]DieChar
+	Loop LoopToken
+	DFS  DFSToken
 
-	Die    [NumDieKinds]DieChar
-	HasDie [NumDieKinds]bool
-
-	Loop    LoopToken
-	HasLoop bool
+	// Has is the channel-presence bitmask (see the bit constants).
+	Has uint16
 
 	// Kill is the speed-3 breadth-first KILL token eradicating
-	// growing-snake residue.
+	// growing-snake residue. It is a plain flag rather than a Has bit:
+	// it carries no payload and is read directly on several hot paths.
 	Kill bool
-
-	DFS    DFSToken
-	HasDFS bool
 }
+
+// HasGrowKind reports whether the growing channel with dense index i is
+// occupied.
+func (m *Message) HasGrowKind(i int) bool { return m.Has&(growBit0<<i) != 0 }
+
+// HasDieKind reports whether the dying channel with dense index i is
+// occupied.
+func (m *Message) HasDieKind(i int) bool { return m.Has&(dieBit0<<i) != 0 }
+
+// HasLoop reports whether a loop token is present.
+func (m *Message) HasLoop() bool { return m.Has&loopBit != 0 }
+
+// HasDFS reports whether the DFS token is present.
+func (m *Message) HasDFS() bool { return m.Has&dfsBit != 0 }
 
 // IsBlank reports whether m is the blank character (no constructs present).
 func (m *Message) IsBlank() bool {
-	if m.HasLoop || m.Kill || m.HasDFS {
-		return false
-	}
-	for i := 0; i < NumGrowKinds; i++ {
-		if m.HasGrow[i] {
-			return false
-		}
-	}
-	for i := 0; i < NumDieKinds; i++ {
-		if m.HasDie[i] {
-			return false
-		}
-	}
-	return true
+	return m.Has == 0 && !m.Kill
+}
+
+// Blank resets m to the blank character. Only the presence mask and KILL
+// flag are cleared: stale channel payloads are unreadable behind a clear
+// mask, so this is equivalent to (and much cheaper than) zeroing the whole
+// struct on the per-tick clear path.
+func (m *Message) Blank() {
+	m.Has = 0
+	m.Kill = false
 }
 
 // SetGrow places a growing character on the message.
 func (m *Message) SetGrow(c GrowChar) {
 	i := GrowIndex(c.Kind)
-	if m.HasGrow[i] {
+	if m.Has&(growBit0<<i) != 0 {
 		panic(fmt.Sprintf("wire: duplicate %v character in one tick", c.Kind))
 	}
 	m.Grow[i] = c
-	m.HasGrow[i] = true
+	m.Has |= growBit0 << i
+}
+
+// SetGrowAt is SetGrow for a character whose dense kind index the caller
+// already knows: the emit hot path skips the kind-to-index dispatch.
+func (m *Message) SetGrowAt(i int, c GrowChar) {
+	if m.Has&(growBit0<<i) != 0 {
+		panic(fmt.Sprintf("wire: duplicate %v character in one tick", c.Kind))
+	}
+	m.Grow[i] = c
+	m.Has |= growBit0 << i
 }
 
 // SetDie places a dying character on the message.
 func (m *Message) SetDie(c DieChar) {
-	i := DieIndex(c.Kind)
-	if m.HasDie[i] {
+	m.SetDieAt(DieIndex(c.Kind), c)
+}
+
+// SetDieAt is SetDie for a character whose dense kind index the caller
+// already knows: the emit hot path skips the kind-to-index dispatch.
+func (m *Message) SetDieAt(i int, c DieChar) {
+	if m.Has&(dieBit0<<i) != 0 {
 		panic(fmt.Sprintf("wire: duplicate %v character in one tick", c.Kind))
 	}
 	m.Die[i] = c
-	m.HasDie[i] = true
+	m.Has |= dieBit0 << i
 }
 
 // SetLoop places a loop token on the message.
 func (m *Message) SetLoop(t LoopToken) {
-	if m.HasLoop {
+	if m.Has&loopBit != 0 {
 		panic("wire: duplicate loop token in one tick")
 	}
 	m.Loop = t
-	m.HasLoop = true
+	m.Has |= loopBit
 }
 
 // SetDFS places the DFS token on the message.
 func (m *Message) SetDFS(t DFSToken) {
-	if m.HasDFS {
+	if m.Has&dfsBit != 0 {
 		panic("wire: duplicate DFS token in one tick")
 	}
 	m.DFS = t
-	m.HasDFS = true
+	m.Has |= dfsBit
 }
 
 // Validate checks that every construct on the message is well-formed for a
@@ -341,7 +381,7 @@ func (m *Message) Validate(delta int) error {
 		return nil
 	}
 	for i := 0; i < NumGrowKinds; i++ {
-		if !m.HasGrow[i] {
+		if !m.HasGrowKind(i) {
 			continue
 		}
 		c := m.Grow[i]
@@ -358,7 +398,7 @@ func (m *Message) Validate(delta int) error {
 		}
 	}
 	for i := 0; i < NumDieKinds; i++ {
-		if !m.HasDie[i] {
+		if !m.HasDieKind(i) {
 			continue
 		}
 		c := m.Die[i]
@@ -380,7 +420,7 @@ func (m *Message) Validate(delta int) error {
 			return fmt.Errorf("wire: payload %d out of range", c.Payload)
 		}
 	}
-	if m.HasLoop {
+	if m.HasLoop() {
 		if m.Loop.Type == LoopForward {
 			if err := checkPort("FORWARD out", m.Loop.Out, false); err != nil {
 				return err
@@ -390,7 +430,7 @@ func (m *Message) Validate(delta int) error {
 			}
 		}
 	}
-	if m.HasDFS {
+	if m.HasDFS() {
 		if err := checkPort("DFS out", m.DFS.Out, false); err != nil {
 			return err
 		}
@@ -468,18 +508,18 @@ func (m Message) String() string {
 		}
 	}
 	for i := 0; i < NumGrowKinds; i++ {
-		if m.HasGrow[i] {
+		if m.HasGrowKind(i) {
 			sep()
 			s += m.Grow[i].String()
 		}
 	}
 	for i := 0; i < NumDieKinds; i++ {
-		if m.HasDie[i] {
+		if m.HasDieKind(i) {
 			sep()
 			s += m.Die[i].String()
 		}
 	}
-	if m.HasLoop {
+	if m.HasLoop() {
 		sep()
 		s += m.Loop.String()
 	}
@@ -487,7 +527,7 @@ func (m Message) String() string {
 		sep()
 		s += "KILL"
 	}
-	if m.HasDFS {
+	if m.HasDFS() {
 		sep()
 		s += fmt.Sprintf("DFS(%d)", m.DFS.Out)
 	}

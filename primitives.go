@@ -160,7 +160,7 @@ func (r *rcaRecorder) process(e sim.TranscriptEntry) {
 			continue
 		}
 		igIdx := wire.GrowIndex(wire.KindIG)
-		if m.HasGrow[igIdx] {
+		if m.HasGrowKind(igIdx) {
 			c := m.Grow[igIdx]
 			if c.Part != wire.Tail && c.In == wire.Star {
 				c.In = uint8(port)
@@ -179,7 +179,7 @@ func (r *rcaRecorder) process(e sim.TranscriptEntry) {
 			}
 		}
 		idIdx := wire.DieIndex(wire.KindID)
-		if m.HasDie[idIdx] {
+		if m.HasDieKind(idIdx) {
 			c := m.Die[idIdx]
 			if c.Part != wire.Tail && c.In == wire.Star {
 				c.In = uint8(port)
@@ -196,7 +196,7 @@ func (r *rcaRecorder) process(e sim.TranscriptEntry) {
 				}
 			}
 		}
-		if m.HasLoop {
+		if m.HasLoop() {
 			switch {
 			case r.phase == 4 && (m.Loop.Type == wire.LoopForward || m.Loop.Type == wire.LoopBack):
 				r.forward = m.Loop.Type == wire.LoopForward

@@ -43,6 +43,15 @@
 // runtime.GOMAXPROCS(0), 1 forces the sequential path, and any other value
 // sizes the pool explicitly.
 //
+// Dispatch is adaptive (Options.Sched): ticks with enough work fan out
+// across the pool, stretches of small-frontier ticks run as sequential
+// bursts with near-zero per-tick overhead, dormant processors (busy but
+// provably inactive for a known number of ticks, e.g. relays holding
+// speed-1 characters) are parked on a timing wheel instead of being
+// stepped every tick, and globally idle ticks collapse to an O(1) clock
+// advance. Forced policies pin the dispatch for measurement; results are
+// bit-identical under every policy.
+//
 // The determinism guarantee: for a fixed graph, root, and speed
 // configuration, every run produces a bit-identical root transcript,
 // reconstruction, tick count, message count, and step count, regardless of
@@ -55,7 +64,7 @@
 //
 // The simulation substrate, snake/token data structures, protocol automaton
 // and transcript decoder live in internal packages; see DESIGN.md for the
-// architecture and the §4 experiment catalogue (E1–E14) reproducing every
+// architecture and the §4 experiment catalogue (E1–E15) reproducing every
 // quantitative claim in the paper.
 package topomap
 
@@ -69,6 +78,7 @@ import (
 	"topomap/internal/core"
 	"topomap/internal/graph"
 	"topomap/internal/gtd"
+	"topomap/internal/sim"
 	"topomap/internal/wire"
 )
 
@@ -171,7 +181,40 @@ type Options struct {
 	// exists as the reference path for equivalence checking and
 	// debugging, never for performance.
 	Dense bool
+	// Sched selects the engine's execution policy. SchedAuto (the
+	// default) adapts dispatch to instantaneous activity: ticks with a
+	// large frontier fan out across the worker pool, stretches of
+	// small-frontier ticks run as sequential bursts with near-zero
+	// per-tick overhead. SchedForceParallel and SchedForceSequential pin
+	// the dispatch — they exist for equivalence testing and crossover
+	// measurement (E15). Every policy produces bit-identical results;
+	// only wall-clock time and the scheduler telemetry differ.
+	Sched SchedPolicy
+	// SeqThreshold tunes the adaptive policy's burst crossover: a tick
+	// whose frontier is below it enters a sequential burst (hysteresis
+	// keeps the burst until the frontier doubles past it or reaches the
+	// parallel threshold). 0 keeps the engine default.
+	SeqThreshold int
 }
+
+// SchedPolicy selects how the engine dispatches each global clock tick; see
+// Options.Sched.
+type SchedPolicy = sim.SchedPolicy
+
+// Scheduling policies for Options.Sched.
+const (
+	// SchedAuto adapts dispatch cost to instantaneous activity (default).
+	SchedAuto = sim.SchedAuto
+	// SchedForceParallel fans every non-empty tick across the pool.
+	SchedForceParallel = sim.SchedForceParallel
+	// SchedForceSequential dispatches every tick individually on the
+	// calling goroutine, without bursting.
+	SchedForceSequential = sim.SchedForceSequential
+)
+
+// ParseSchedPolicy parses a -sched flag value: auto, seq/sequential, or
+// par/parallel.
+var ParseSchedPolicy = sim.ParseSchedPolicy
 
 // Speeds is the per-hop extra hold of each construct class, in ticks
 // (paper defaults: snakes 2 = speed-1, loop tokens 2, UNMARK 0 = speed-3,
@@ -217,12 +260,14 @@ type Result struct {
 func Map(g *Graph, opts Options) (*Result, error) {
 	cfg := opts.config()
 	res, err := core.Run(g, core.Options{
-		Root:     opts.Root,
-		MaxTicks: opts.MaxTicks,
-		Validate: opts.Validate,
-		Workers:  opts.Workers,
-		Dense:    opts.Dense,
-		Config:   &cfg,
+		Root:         opts.Root,
+		MaxTicks:     opts.MaxTicks,
+		Validate:     opts.Validate,
+		Workers:      opts.Workers,
+		Dense:        opts.Dense,
+		Sched:        opts.Sched,
+		SeqThreshold: opts.SeqThreshold,
+		Config:       &cfg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("topomap: %w", err)
@@ -265,12 +310,14 @@ type Session struct {
 func NewSession(opts Options) *Session {
 	cfg := opts.config()
 	return &Session{inner: core.NewSession(core.Options{
-		Root:     opts.Root,
-		MaxTicks: opts.MaxTicks,
-		Validate: opts.Validate,
-		Workers:  opts.Workers,
-		Dense:    opts.Dense,
-		Config:   &cfg,
+		Root:         opts.Root,
+		MaxTicks:     opts.MaxTicks,
+		Validate:     opts.Validate,
+		Workers:      opts.Workers,
+		Dense:        opts.Dense,
+		Sched:        opts.Sched,
+		SeqThreshold: opts.SeqThreshold,
+		Config:       &cfg,
 	})}
 }
 
