@@ -45,6 +45,7 @@ func BenchmarkE12Pigeonhole(b *testing.B)      { benchExperiment(b, "e12") }
 func BenchmarkE13Batch(b *testing.B)           { benchExperiment(b, "e13") }
 func BenchmarkE14Frontier(b *testing.B)        { benchExperiment(b, "e14") }
 func BenchmarkE15Adaptive(b *testing.B)        { benchExperiment(b, "e15") }
+func BenchmarkE16Serve(b *testing.B)           { benchExperiment(b, "e16") }
 
 // Session-reuse benchmarks: the fresh/reused pair quantifies the session
 // refactor's allocation claim (run with -benchmem; the reused steady state

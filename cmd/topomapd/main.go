@@ -1,0 +1,459 @@
+// Command topomapd is the streaming mapping daemon: the Global Topology
+// Determination protocol served over HTTP by a pool of warm mapping
+// sessions (topomap.Service).
+//
+// Usage:
+//
+//	topomapd [-addr host:port] [-pool n] [-queue n] [-block]
+//	         [-workers n] [-deadline d] [-maxnodes n] [-every n]
+//
+// Endpoints:
+//
+//	POST /map      Map the graph in the request body (the plain-text
+//	               graph.Marshal format emitted by topogen). Query
+//	               parameters: root (default 0), deadline (Go duration),
+//	               stream=sse|ndjson (progress streaming; default is one
+//	               JSON result), every (ticks between progress events),
+//	               graph=0 (omit the reconstruction text from the result).
+//	GET|POST /map  ?family=ring&n=64&seed=1 — generator shorthand: build a
+//	               member of a built-in family instead of posting a body.
+//	GET /stats     Pool statistics (queue depth, warm-hit rate, runs
+//	               served, allocs/run, latency means) as JSON.
+//	GET /healthz   Liveness probe.
+//
+// The daemon applies backpressure explicitly: when the job queue is full,
+// /map answers 503 (with Retry-After) rather than queueing unboundedly —
+// or, with -block, holds the request until a slot frees. On SIGINT/SIGTERM
+// it drains: intake stops, accepted jobs finish, then the pool is released.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"topomap"
+	"topomap/internal/graph"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop))
+}
+
+// run is the testable body of the daemon: parse flags, start the service
+// and the HTTP listener, serve until a stop signal, then drain. It returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
+	fs := flag.NewFlagSet("topomapd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8723", "listen address (use :0 for an ephemeral port)")
+		pool     = fs.Int("pool", 0, "warm mapping sessions (0 = GOMAXPROCS)")
+		queue    = fs.Int("queue", 0, "job-queue depth (0 = 4×pool, negative = no waiting room)")
+		block    = fs.Bool("block", false, "hold /map requests when the queue is full instead of answering 503")
+		workers  = fs.Int("workers", 1, "engine workers per run (serving scales across sessions, so 1 is right)")
+		deadline = fs.Duration("deadline", 2*time.Minute, "default per-job deadline, queue wait included (0 = none)")
+		maxNodes = fs.Int("maxnodes", 1<<16, "reject posted graphs larger than this")
+		every    = fs.Int("every", 0, "default ticks between progress events (0 = service default)")
+		drainFor = fs.Duration("drain", 30*time.Second, "shutdown budget for serving accepted jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := newServer(serverConfig{
+		Pool:     *pool,
+		Queue:    *queue,
+		Block:    *block,
+		Workers:  *workers,
+		Deadline: *deadline,
+		MaxNodes: *maxNodes,
+		Every:    *every,
+	})
+	defer srv.svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "topomapd: %v\n", err)
+		return 1
+	}
+	// No WriteTimeout: SSE/NDJSON progress streams are long-lived by
+	// design. Header and idle timeouts still bound slow-client abuse of
+	// the untrusted surface.
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(stdout, "topomapd: listening on http://%s (pool=%d queue=%d)\n",
+		ln.Addr(), srv.svc.Stats().Size, srv.svc.Stats().QueueCap)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "topomapd: serve: %v\n", err)
+		return 1
+	case <-stop:
+	}
+
+	// Graceful drain: stop accepting HTTP, then serve out the accepted
+	// jobs within the budget, then release the sessions.
+	fmt.Fprintf(stdout, "topomapd: draining (budget %v)\n", *drainFor)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "topomapd: http shutdown: %v\n", err)
+	}
+	if err := srv.svc.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "topomapd: drain: %v\n", err)
+	}
+	st := srv.svc.Stats()
+	fmt.Fprintf(stdout, "topomapd: served %d runs (%d warm, %d failed, %d canceled)\n",
+		st.Served, st.WarmServes, st.Failed, st.Canceled)
+	return 0
+}
+
+// maxBodyBytes bounds a posted graph text; well above the text size of any
+// graph that passes -maxnodes.
+const maxBodyBytes = 64 << 20
+
+type serverConfig struct {
+	Pool     int
+	Queue    int
+	Block    bool
+	Workers  int
+	Deadline time.Duration
+	MaxNodes int
+	Every    int
+}
+
+// server is the daemon's HTTP surface over one topomap.Service.
+type server struct {
+	svc     *topomap.Service
+	cfg     serverConfig
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// newServer builds the handler and its service pool. Callers own svc.Close.
+func newServer(cfg serverConfig) *server {
+	s := &server{
+		svc: topomap.NewService(topomap.ServiceOptions{
+			Options:         topomap.Options{Workers: cfg.Workers},
+			Sessions:        cfg.Pool,
+			QueueDepth:      cfg.Queue,
+			Block:           cfg.Block,
+			DefaultDeadline: cfg.Deadline,
+			ProgressEvery:   cfg.Every,
+		}),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/map", s.handleMap)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// progressEvent is the wire form of one streamed progress update.
+type progressEvent struct {
+	Tick      int   `json:"tick"`
+	Frontier  int   `json:"frontier"`
+	Messages  int64 `json:"messages"`
+	Steps     int64 `json:"steps"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// mapResult is the wire form of a completed mapping.
+type mapResult struct {
+	N            int    `json:"n"`
+	Delta        int    `json:"delta"`
+	Edges        int    `json:"edges"`
+	Root         int    `json:"root"`
+	Ticks        int    `json:"ticks"`
+	Messages     int64  `json:"messages"`
+	Transactions int    `json:"transactions"`
+	Exact        bool   `json:"exact"`
+	ElapsedMS    int64  `json:"elapsed_ms"`
+	Graph        string `json:"graph,omitempty"`
+}
+
+func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	q := r.URL.Query()
+
+	g, err := s.loadGraph(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if g.N() > s.cfg.MaxNodes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("graph has %d nodes, limit is %d", g.N(), s.cfg.MaxNodes))
+		return
+	}
+	root := 0
+	if v := q.Get("root"); v != "" {
+		root, err = strconv.Atoi(v)
+		if err != nil || root < 0 || root >= g.N() {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("root %q out of range [0,%d)", v, g.N()))
+			return
+		}
+	}
+	jobOpts := topomap.JobOptions{Root: &root}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad deadline %q", v))
+			return
+		}
+		jobOpts.Deadline = d
+	}
+	if v := q.Get("every"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad every %q", v))
+			return
+		}
+		jobOpts.ProgressEvery = n
+	}
+	withGraph := q.Get("graph") != "0"
+
+	switch q.Get("stream") {
+	case "":
+		s.serveOnce(w, r, g, root, jobOpts, withGraph)
+	case "sse":
+		s.serveStream(w, r, g, root, jobOpts, withGraph, streamSSE)
+	case "ndjson":
+		s.serveStream(w, r, g, root, jobOpts, withGraph, streamNDJSON)
+	default:
+		httpError(w, http.StatusBadRequest, "stream must be sse or ndjson")
+	}
+}
+
+// loadGraph resolves the request's graph: the generator shorthand
+// (?family=...&n=...&seed=...) or the posted graph text.
+func (s *server) loadGraph(r *http.Request) (*topomap.Graph, error) {
+	q := r.URL.Query()
+	if fam := q.Get("family"); fam != "" {
+		n := 24
+		var err error
+		if v := q.Get("n"); v != "" {
+			if n, err = strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("bad n %q", v)
+			}
+		}
+		if n < 2 || n > s.cfg.MaxNodes {
+			return nil, fmt.Errorf("n=%d out of range [2,%d]", n, s.cfg.MaxNodes)
+		}
+		var seed int64 = 1
+		if v := q.Get("seed"); v != "" {
+			if seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad seed %q", v)
+			}
+		}
+		g, err := graph.Build(graph.Family(fam), n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	if r.Body == nil {
+		return nil, errors.New("post a graph in the topomap-graph v1 format, or use ?family=")
+	}
+	// The decode limit follows the operator's -maxnodes knob (δ ≤ 255 by
+	// the format), so the allocation guard and the node-count policy are
+	// one setting; overflowing products fall back to the codec default.
+	maxPorts := 0
+	if mn := s.cfg.MaxNodes; mn > 0 && mn < math.MaxInt/255 {
+		maxPorts = mn * 255
+	}
+	g, err := graph.UnmarshalLimit(io.LimitReader(r.Body, maxBodyBytes), maxPorts)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// serveOnce maps the graph and answers with a single JSON result.
+func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Graph, root int, jobOpts topomap.JobOptions, withGraph bool) {
+	start := time.Now()
+	j, err := s.svc.Submit(r.Context(), g, jobOpts)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	res, err := j.Await(r.Context())
+	if err != nil {
+		runError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.result(g, root, res, start, withGraph))
+}
+
+// streamMode selects the progress-stream encoding.
+type streamMode int
+
+const (
+	streamSSE streamMode = iota
+	streamNDJSON
+)
+
+// serveStream maps the graph while streaming progress events, then the
+// result (or error), over SSE or NDJSON chunks.
+func (s *server) serveStream(w http.ResponseWriter, r *http.Request, g *topomap.Graph, root int, jobOpts topomap.JobOptions, withGraph bool, mode streamMode) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	// The progress sink runs on the serving goroutine and must not block:
+	// events overflow into the void, the stream just thins.
+	events := make(chan topomap.Progress, 64)
+	jobOpts.Progress = func(p topomap.Progress) {
+		select {
+		case events <- p:
+		default:
+		}
+	}
+	start := time.Now()
+	j, err := s.svc.Submit(r.Context(), g, jobOpts)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	if mode == streamSSE {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		if mode == streamSSE {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		} else {
+			fmt.Fprintf(w, "{%q: %s}\n", event, data)
+		}
+		flusher.Flush()
+	}
+
+	for {
+		select {
+		case p := <-events:
+			emit("progress", progressEvent{
+				Tick:      p.Tick,
+				Frontier:  p.Frontier,
+				Messages:  p.Messages,
+				Steps:     p.Steps,
+				ElapsedMS: p.Elapsed.Milliseconds(),
+			})
+		case <-j.Done():
+			res, err := j.Await(r.Context())
+			if err != nil {
+				emit("error", map[string]string{"error": err.Error()})
+				return
+			}
+			emit("result", s.result(g, root, res, start, withGraph))
+			return
+		}
+	}
+}
+
+// result assembles the wire result, verifying the reconstruction against
+// the input truth (the daemon knows it — clients posting a graph can also
+// re-verify from the returned text).
+func (s *server) result(g *topomap.Graph, root int, res *topomap.Result, start time.Time, withGraph bool) mapResult {
+	out := mapResult{
+		N:            res.Topology.N(),
+		Delta:        res.Topology.Delta(),
+		Edges:        res.Topology.NumEdges(),
+		Root:         root,
+		Ticks:        res.Ticks,
+		Messages:     res.Messages,
+		Transactions: res.Transactions,
+		Exact:        topomap.Verify(g, root, res.Topology),
+		ElapsedMS:    time.Since(start).Milliseconds(),
+	}
+	if withGraph {
+		out.Graph = res.Topology.MarshalString()
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// submitError maps Submit failures to status codes: backpressure and
+// shutdown are 503 (retryable), anything else is the client's request.
+func submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, topomap.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job queue full, retry")
+	case errors.Is(err, topomap.ErrServiceClosed):
+		httpError(w, http.StatusServiceUnavailable, "daemon is draining")
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// runError maps run failures: deadlines are 504, everything else (validation
+// failures, budget exhaustion) is 422 — the graph was parseable but not
+// mappable as requested.
+func runError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}

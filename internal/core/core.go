@@ -77,6 +77,15 @@ type Session struct {
 	// ctx is the cancellation context of the run in flight; the engine's
 	// Cancel callback reads it. Nil means not cancellable.
 	ctx context.Context
+	// runs counts the runs this session has executed (including failed
+	// ones). The service pool reads it to tell warm serves — runs on an
+	// already-exercised engine — from cold ones.
+	runs int
+	// progress/progressEvery are the per-run progress sink installed with
+	// SetProgress; the session's engine observer forwards engine snapshots
+	// here. Mutated only between runs, read on every tick.
+	progress      func(sim.Progress)
+	progressEvery int
 }
 
 // NewSession prepares a reusable run context with the given options. No
@@ -117,6 +126,43 @@ func (s *Session) RunRooted(g *graph.Graph, root int) (*RunResult, error) {
 	return s.run(nil, g, root)
 }
 
+// RunRootedContext combines the per-run root override with cancellation; the
+// service layer uses it to honour per-job roots on pooled sessions.
+func (s *Session) RunRootedContext(ctx context.Context, g *graph.Graph, root int) (*RunResult, error) {
+	return s.run(ctx, g, root)
+}
+
+// Runs reports how many runs the session has executed so far (successful or
+// not). A session with Runs() > 0 is warm: its engine, automata, and mapper
+// are already allocated and a further run recycles them.
+func (s *Session) Runs() int { return s.runs }
+
+// SetProgress installs (or, with a nil fn, removes) a per-run progress sink:
+// during subsequent runs the session invokes fn with an engine snapshot
+// every `every` ticks, on the goroutine driving the run. every <= 1 reports
+// every tick. The sink persists across runs until changed; callers must not
+// call SetProgress while a run is in flight.
+func (s *Session) SetProgress(every int, fn func(sim.Progress)) {
+	s.progress, s.progressEvery = fn, every
+}
+
+// progressTap is the observer a session always installs on its engine: it
+// forwards tick snapshots to the per-run sink, and costs one branch per tick
+// when no sink is set.
+type progressTap struct{ s *Session }
+
+// AfterTick implements sim.Observer.
+func (p progressTap) AfterTick(t int, e *sim.Engine) {
+	s := p.s
+	if s.progress == nil {
+		return
+	}
+	if s.progressEvery > 1 && (t+1)%s.progressEvery != 0 {
+		return
+	}
+	s.progress(e.Progress())
+}
+
 func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -132,6 +178,11 @@ func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult
 		s.m.Reset(g.Delta())
 	}
 	if s.eng == nil {
+		// The progress tap is appended to a fresh slice so the caller's
+		// Observers backing array is never written to.
+		obs := make([]sim.Observer, 0, len(s.opts.Observers)+1)
+		obs = append(obs, s.opts.Observers...)
+		obs = append(obs, progressTap{s})
 		s.eng = sim.New(g, sim.Options{
 			Root:         root,
 			MaxTicks:     s.opts.MaxTicks,
@@ -141,7 +192,7 @@ func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult
 			Sched:        s.opts.Sched,
 			SeqThreshold: s.opts.SeqThreshold,
 			Transcript:   s.m.Process,
-			Observers:    s.opts.Observers,
+			Observers:    obs,
 			RetainPool:   true,
 			Cancel: func() error {
 				if s.ctx != nil {
@@ -153,6 +204,7 @@ func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult
 	} else {
 		s.eng.ResetRooted(g, root)
 	}
+	s.runs++
 	stats, err := s.eng.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: protocol run failed: %w", err)

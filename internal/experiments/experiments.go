@@ -140,6 +140,7 @@ var registry = []struct {
 	{"e13", E13BatchThroughput},
 	{"e14", E14FrontierScheduler},
 	{"e15", E15AdaptiveScheduler},
+	{"e16", E16ServedThroughput},
 }
 
 // IDs lists experiment identifiers in order.

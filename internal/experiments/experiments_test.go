@@ -135,6 +135,47 @@ func checkInvariants(t *testing.T, id string, table *Table) {
 				t.Errorf("E12 transcript collision: %v", row)
 			}
 		}
+	case "e16":
+		// Every row — anchors and served sweep — must be bit-identical to
+		// direct Map; after warm-up every serve is warm; and the PR's
+		// acceptance bound holds: served allocs/run within 2× of the
+		// E13-steady batch anchor measured in the same process.
+		mode, ident := col(table, "mode"), col(table, "identical")
+		warm, alloc := col(table, "warm%"), col(table, "allocs/run")
+		cpool, ccli := col(table, "pool"), col(table, "clients")
+		batchAllocs := -1.0
+		for _, row := range table.Rows {
+			if row[ident] != "yes" {
+				t.Errorf("E16 served result diverges: %v", row)
+			}
+			if row[mode] == "batch (E13)" {
+				batchAllocs, _ = strconv.ParseFloat(row[alloc], 64)
+			}
+		}
+		if batchAllocs <= 0 {
+			t.Fatal("E16 missing the batch anchor row")
+		}
+		servedRows := 0
+		for _, row := range table.Rows {
+			if row[mode] != "served" {
+				continue
+			}
+			servedRows++
+			if v, _ := strconv.ParseFloat(row[warm], 64); v < 100 {
+				t.Errorf("E16 cold serve after warm-up: %v", row)
+			}
+			if v, _ := strconv.ParseFloat(row[alloc], 64); v > 2*batchAllocs {
+				t.Errorf("E16 allocs/run %v over 2× the E13 steady state (%v): %v", v, batchAllocs, row)
+			}
+			p, _ := strconv.Atoi(row[cpool])
+			c, _ := strconv.Atoi(row[ccli])
+			if c < p {
+				t.Errorf("E16 served row with fewer clients than pool: %v", row)
+			}
+		}
+		if servedRows == 0 {
+			t.Error("E16 has no served rows")
+		}
 	case "e14":
 		// Dense and sparse scheduling must be observationally identical
 		// on every row, and at N=1024 the sparse scheduler must examine

@@ -38,8 +38,28 @@ func (g *Graph) MarshalString() string {
 	return b.String()
 }
 
-// Unmarshal parses the plain-text graph format produced by Marshal.
+// DefaultUnmarshalPorts caps the port-table size (n·δ) Unmarshal will
+// allocate for a declared header before any edge has been read: a ten-byte
+// "nodes 9999999999" line must not commit gigabytes, overflow the
+// flat-table arithmetic, or panic; it must return an error like any other
+// malformed input. The default (16.7M ports, a ~500 MB table) is four
+// orders of magnitude above the largest graph any experiment builds while
+// still accepting any realistic Marshal output; surfaces with their own
+// size policy (cmd/topomapd derives one from -maxnodes) use UnmarshalLimit.
+const DefaultUnmarshalPorts = 1 << 24
+
+// Unmarshal parses the plain-text graph format produced by Marshal. Inputs
+// are treated as untrusted: malformed headers, oversized declarations
+// (beyond DefaultUnmarshalPorts), and inconsistent port tables are rejected
+// with errors, never panics (fuzzed).
 func Unmarshal(r io.Reader) (*Graph, error) {
+	return UnmarshalLimit(r, DefaultUnmarshalPorts)
+}
+
+// UnmarshalLimit is Unmarshal with an explicit bound on the port-table size
+// (n·δ) a header may declare, for surfaces whose exposure is configured by
+// the operator; maxPorts ≤ 0 selects DefaultUnmarshalPorts.
+func UnmarshalLimit(r io.Reader, maxPorts int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -71,6 +91,12 @@ func Unmarshal(r io.Reader) (*Graph, error) {
 	}
 	if n < 0 || delta < 1 || delta > 255 {
 		return nil, fmt.Errorf("graph: line %d: invalid sizes n=%d delta=%d", line, n, delta)
+	}
+	if maxPorts <= 0 {
+		maxPorts = DefaultUnmarshalPorts
+	}
+	if n > maxPorts/delta {
+		return nil, fmt.Errorf("graph: line %d: declared size n=%d delta=%d exceeds the %d-port decode limit", line, n, delta, maxPorts)
 	}
 	g := New(n, delta)
 	for {

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzUnmarshal hammers the text codec with arbitrary input. The codec is
+// the daemon's untrusted input surface, so the contract under fuzzing is:
+//
+//  1. never panic and never attempt an unbounded allocation — malformed
+//     headers, oversized declarations, duplicate or out-of-range ports all
+//     come back as errors;
+//  2. anything that does parse must round-trip: Marshal of the parsed graph
+//     re-parses to an identical graph.
+//
+// Run the stored corpus as part of go test; `go test -fuzz=FuzzUnmarshal
+// ./internal/graph/` explores further.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		"",
+		"topomap-graph v1",
+		"topomap-graph v1\nnodes 2 delta 1\nedge 0 1 1 1\nedge 1 1 0 1\n",
+		"topomap-graph v1\nnodes 4 delta 2\nedge 0 1 1 1\nedge 1 1 2 1\nedge 2 1 3 1\nedge 3 1 0 1\n",
+		"topomap-graph v2\nnodes 2 delta 1\n",
+		"topomap-graph v1\nnodes -3 delta 1\n",
+		"topomap-graph v1\nnodes 2 delta 0\n",
+		"topomap-graph v1\nnodes 2 delta 256\n",
+		"topomap-graph v1\nnodes 9999999999 delta 255\n",
+		"topomap-graph v1\nnodes 2 delta 1\nedge 0 1 0 1\n",               // self-loop
+		"topomap-graph v1\nnodes 2 delta 1\nedge 0 9 1 1\n",               // port out of range
+		"topomap-graph v1\nnodes 2 delta 1\nedge 0 1 5 1\n",               // node out of range
+		"topomap-graph v1\nnodes 2 delta 1\nedge 0 1 1 1\nedge 0 1 1 1\n", // duplicate wiring
+		"topomap-graph v1\nnodes 2 delta 1\nedge zero 1 1 1\n",
+		"# comment\n\ntopomap-graph v1\n# another\nnodes 2 delta 1\nedge 0 1 1 1\nedge 1 1 0 1\n",
+		"topomap-graph v1\nnodes 1048576 delta 1\n",
+		"topomap-graph v1\nnodes 36028797018963968 delta 255\nedge 0 1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Fuzz through the explicit-limit entry point with a tight cap, the
+	// way the daemon consumes it: the parse logic is shared with the
+	// default path, and the small cap keeps a mutated "nodes <huge>"
+	// header from turning every exec into a half-gigabyte allocation.
+	const fuzzPorts = 1 << 20
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := UnmarshalLimit(strings.NewReader(s), fuzzPorts)
+		if err != nil {
+			return // rejected: exactly what untrusted garbage should get
+		}
+		// Parsed graphs must round-trip bit-for-bit through the codec.
+		text := g.MarshalString()
+		g2, err := UnmarshalLimit(strings.NewReader(text), fuzzPorts)
+		if err != nil {
+			t.Fatalf("re-parse of marshalled graph failed: %v\ninput: %q\nmarshalled: %q", err, s, text)
+		}
+		if !g.Equal(g2) {
+			t.Fatalf("round-trip mismatch\ninput: %q", s)
+		}
+		// Validation may reject the graph (not strongly connected, etc.)
+		// but must not panic either way.
+		_ = g.Validate()
+	})
+}
+
+// TestUnmarshalSizeCap pins the decode limit: a header declaring a
+// table over the cap — the caller's or the default — is rejected before
+// any allocation is attempted, and the boundary is exact.
+func TestUnmarshalSizeCap(t *testing.T) {
+	// Default cap: absurd and overflowing declarations are rejected.
+	for _, in := range []string{
+		"topomap-graph v1\nnodes 999999999999 delta 255\n",
+		"topomap-graph v1\nnodes 36028797018963968 delta 255\n", // n·δ overflows int64
+		"topomap-graph v1\nnodes 16777217 delta 1\n",            // one over DefaultUnmarshalPorts
+	} {
+		if _, err := UnmarshalString(in); err == nil || !strings.Contains(err.Error(), "decode limit") {
+			t.Fatalf("oversized header must hit the decode limit, got err=%v for %q", err, in)
+		}
+	}
+	// Explicit limit: exact boundary semantics, and ≤ 0 falls back to the
+	// default (so a caller cannot accidentally disable the guard).
+	capped := "topomap-graph v1\nnodes 1025 delta 1\n"
+	if _, err := UnmarshalLimit(strings.NewReader(capped), 1024); err == nil || !strings.Contains(err.Error(), "decode limit") {
+		t.Fatalf("over-limit header must be rejected: %v", err)
+	}
+	atCap := "topomap-graph v1\nnodes 1024 delta 1\n"
+	if _, err := UnmarshalLimit(strings.NewReader(atCap), 1024); err != nil {
+		t.Fatalf("cap-sized header must parse (the cap only guards allocation): %v", err)
+	}
+	if _, err := UnmarshalLimit(strings.NewReader("topomap-graph v1\nnodes 999999999999 delta 255\n"), 0); err == nil {
+		t.Fatal("limit ≤ 0 must keep the default guard")
+	}
+}

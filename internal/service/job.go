@@ -1,0 +1,265 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"topomap/internal/core"
+	"topomap/internal/graph"
+	"topomap/internal/sim"
+)
+
+// simProgress is the engine-layer snapshot the session progress tap emits.
+type simProgress = sim.Progress
+
+// Progress is one per-job progress event: the engine snapshot at a tick
+// boundary plus the job's wall-clock so far. Events are delivered on the
+// goroutine serving the job, so a sink that must not stall the run should
+// hand off to a channel and drop when full (cmd/topomapd does).
+type Progress struct {
+	Tick     int
+	Frontier int
+	Messages int64
+	Steps    int64
+	Elapsed  time.Duration
+}
+
+// JobStatus is the lifecycle state of a Job.
+type JobStatus int32
+
+const (
+	// StatusQueued: accepted, waiting for a session.
+	StatusQueued JobStatus = iota
+	// StatusRunning: a session is executing the run.
+	StatusRunning
+	// StatusDone: the run executed; Await returns its result or error.
+	StatusDone
+	// StatusCanceled: the job finished without running (canceled or
+	// expired while queued); Await returns its context's error.
+	StatusCanceled
+)
+
+// String names the status for logs and the daemon's JSON.
+func (s JobStatus) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	case StatusCanceled:
+		return "canceled"
+	}
+	return "invalid"
+}
+
+// JobOptions are the per-job overrides of a Submit; the zero value inherits
+// everything from the pool.
+type JobOptions struct {
+	// Root overrides the pool's configured root processor; nil keeps it.
+	Root *int
+	// Deadline bounds the job (queue wait + run). 0 inherits the pool's
+	// DefaultDeadline; negative disables the deadline for this job.
+	Deadline time.Duration
+	// Progress, if non-nil, receives progress events during the run, every
+	// ProgressEvery ticks, on the serving goroutine.
+	Progress func(Progress)
+	// ProgressEvery is the tick granularity of progress events; 0 inherits
+	// the pool's ProgressEvery, 1 reports every tick.
+	ProgressEvery int
+	// OnDone, if non-nil, is invoked exactly once when the job reaches a
+	// terminal state, synchronously on the goroutine that finished it: the
+	// serving worker for run outcomes (which does not dequeue its next job
+	// until the callback returns — MapBatch's StopOnError ordering depends
+	// on this), or the canceling/awaiting goroutine for jobs finished
+	// while queued. Done is already closed when it runs, so Outcome is
+	// valid. It must return quickly and must not call back into the pool.
+	OnDone func(*Job)
+}
+
+// Job is the async handle of a submitted mapping run. Await (or Done) is the
+// synchronisation point; Cancel aborts the job (immediately when queued,
+// between clock ticks when running). A Job's accessors are safe for
+// concurrent use.
+type Job struct {
+	id   uint64
+	pool *Pool
+	g    *graph.Graph
+	root int
+
+	// ctx is the job's lifetime context (submit ctx + per-job deadline);
+	// cancelCtx releases it. Workers poll it between ticks.
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+
+	progress      func(Progress)
+	progressEvery int
+	onDone        func(*Job)
+
+	submitted time.Time
+
+	status atomic.Int32
+	done   chan struct{}
+	// res/err/ran are written exactly once, before done is closed, and
+	// read only after it.
+	res *core.RunResult
+	err error
+	ran bool
+}
+
+// newJob builds and registers a job handle for Submit.
+func (p *Pool) newJob(ctx context.Context, g *graph.Graph, opts JobOptions) *Job {
+	root := p.opts.Run.Root
+	if opts.Root != nil {
+		root = *opts.Root
+	}
+	deadline := opts.Deadline
+	if deadline == 0 {
+		deadline = p.opts.DefaultDeadline
+	}
+	var cancel context.CancelFunc
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = p.opts.ProgressEvery
+	}
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	p.mu.Unlock()
+	j := &Job{
+		id:            id,
+		pool:          p,
+		g:             g,
+		root:          root,
+		ctx:           ctx,
+		cancelCtx:     cancel,
+		progress:      opts.Progress,
+		progressEvery: every,
+		onDone:        opts.OnDone,
+		submitted:     time.Now(),
+		done:          make(chan struct{}),
+	}
+	p.register(j)
+	return j
+}
+
+// Status reports the job's lifecycle state.
+func (j *Job) Status() JobStatus { return JobStatus(j.status.Load()) }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Ran reports, after the job is done, whether a session actually executed
+// the run: true means the outcome (result or error) came from the run
+// itself, false that the job was canceled or expired while queued and the
+// error is its context's.
+func (j *Job) Ran() bool {
+	select {
+	case <-j.done:
+		return j.ran
+	default:
+		return false
+	}
+}
+
+// Await blocks until the job finishes and returns its outcome. ctx bounds
+// the wait only — it does not cancel the job (use Cancel, or cancel the
+// submit context). Await may be called by any number of goroutines.
+func (j *Job) Await(ctx context.Context) (*core.RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.ctx.Done():
+		// The job's own context died. If it is still queued, finish it
+		// here rather than waiting for a worker to reach the corpse; if
+		// it is running, the serving worker owns completion (the engine
+		// aborts between ticks).
+		if !j.finishFromQueued(j.ctx.Err()) {
+			select {
+			case <-j.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return j.res, j.err
+}
+
+// Cancel aborts the job: a queued job finishes immediately with its context
+// error, a running one aborts between clock ticks and finishes with the
+// run's cancellation error. Idempotent; safe after completion.
+func (j *Job) Cancel() {
+	j.cancelCtx()
+	j.finishFromQueued(j.ctx.Err())
+}
+
+// toRunning claims the job for a serving worker. It fails if the job was
+// finished while queued.
+func (j *Job) toRunning() bool {
+	return j.status.CompareAndSwap(int32(StatusQueued), int32(StatusRunning))
+}
+
+// Outcome returns the job's result and error. It is valid only once Done is
+// closed (both nil before then).
+func (j *Job) Outcome() (*core.RunResult, error) {
+	select {
+	case <-j.done:
+		return j.res, j.err
+	default:
+		return nil, nil
+	}
+}
+
+// finishFromQueued completes a still-queued job with err (no run executed).
+// It reports whether this call performed the transition.
+func (j *Job) finishFromQueued(err error) bool {
+	if !j.status.CompareAndSwap(int32(StatusQueued), int32(StatusCanceled)) {
+		return false
+	}
+	if err == nil {
+		err = context.Canceled
+	}
+	j.pool.stats.canceled.add(1)
+	j.res, j.err, j.ran = nil, err, false
+	close(j.done)
+	j.pool.release(j)
+	if j.onDone != nil {
+		j.onDone(j)
+	}
+	return true
+}
+
+// complete finishes a job the worker claimed (status Running): only the
+// serving worker calls it, so a plain store suffices.
+func (j *Job) complete(res *core.RunResult, err error, st JobStatus, ran bool) {
+	j.res, j.err, j.ran = res, err, ran
+	j.status.Store(int32(st))
+	close(j.done)
+	j.pool.release(j)
+	if j.onDone != nil {
+		j.onDone(j)
+	}
+}
+
+// counter and gauge are tiny aliases over the atomic types, so the pool's
+// stats block reads as what it is.
+type counter struct{ atomic.Uint64 }
+
+func (c *counter) add(n uint64) { c.Uint64.Add(n) }
+func (c *counter) get() uint64  { return c.Uint64.Load() }
+
+type gauge struct{ atomic.Int64 }
+
+func (g *gauge) add(n int64) { g.Int64.Add(n) }
+func (g *gauge) get() int64  { return g.Int64.Load() }

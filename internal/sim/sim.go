@@ -338,6 +338,30 @@ func (s Stats) Observables() Stats {
 	return s
 }
 
+// Progress is a cheap point-in-time snapshot of a run, safe to take from an
+// Observer at any tick boundary: how far the run has advanced (Tick), how
+// much of the network is instantaneously active (Frontier — the size of the
+// next tick's frontier; 0 under Naive scheduling, where no frontier is
+// maintained), and the protocol counters so far. The service layer streams
+// these to clients as per-job progress events.
+type Progress struct {
+	Tick     int
+	Frontier int
+	Messages int64
+	Steps    int64
+}
+
+// Progress returns a snapshot of the run in flight. It costs a few loads and
+// allocates nothing; between ticks it reflects the last completed tick.
+func (e *Engine) Progress() Progress {
+	return Progress{
+		Tick:     e.tick,
+		Frontier: len(e.frontier),
+		Messages: e.stats.NonBlankMessages,
+		Steps:    e.stats.StepCalls,
+	}
+}
+
 // Engine executes a network of automata in lockstep over a graph. An engine
 // is reusable: Reset re-targets it at a new graph (or the same one) while
 // recycling every node, wire, shard, and frontier buffer, so steady-state

@@ -18,6 +18,11 @@
 //     steady-state allocation), and MapBatch maps many graphs concurrently
 //     over a bounded session pool with results in input order and
 //     context cancellation,
+//   - NewService, the serving layer: a long-lived pool of warm sessions
+//     behind a bounded job queue with explicit backpressure, asynchronous
+//     job handles (Submit/Await/Cancel), per-job deadlines and roots,
+//     streaming progress events, pool statistics, and graceful drain —
+//     cmd/topomapd serves it over HTTP,
 //   - the paper's auxiliary primitives as standalone operations:
 //     SendBackward (the Backwards Communication Algorithm — deliver a
 //     constant-size message against the direction of an edge) and
@@ -64,7 +69,7 @@
 //
 // The simulation substrate, snake/token data structures, protocol automaton
 // and transcript decoder live in internal packages; see DESIGN.md for the
-// architecture and the §4 experiment catalogue (E1–E15) reproducing every
+// architecture and the §4 experiment catalogue (E1–E16) reproducing every
 // quantitative claim in the paper.
 package topomap
 
@@ -78,6 +83,7 @@ import (
 	"topomap/internal/core"
 	"topomap/internal/graph"
 	"topomap/internal/gtd"
+	"topomap/internal/service"
 	"topomap/internal/sim"
 	"topomap/internal/wire"
 )
@@ -237,6 +243,22 @@ func (o Options) config() gtd.Config {
 	return cfg
 }
 
+// coreOptions lowers the public options to the orchestration layer's; every
+// entry point (Map, NewSession, MapBatch, NewService) goes through it so the
+// layers cannot drift apart.
+func (o Options) coreOptions(cfg *gtd.Config) core.Options {
+	return core.Options{
+		Root:         o.Root,
+		MaxTicks:     o.MaxTicks,
+		Validate:     o.Validate,
+		Workers:      o.Workers,
+		Dense:        o.Dense,
+		Sched:        o.Sched,
+		SeqThreshold: o.SeqThreshold,
+		Config:       cfg,
+	}
+}
+
 // Result is the outcome of Map.
 type Result struct {
 	// Topology is the reconstructed port-labelled network; node 0 is the
@@ -259,25 +281,21 @@ type Result struct {
 // no self-loops, every node with a wired in- and out-port).
 func Map(g *Graph, opts Options) (*Result, error) {
 	cfg := opts.config()
-	res, err := core.Run(g, core.Options{
-		Root:         opts.Root,
-		MaxTicks:     opts.MaxTicks,
-		Validate:     opts.Validate,
-		Workers:      opts.Workers,
-		Dense:        opts.Dense,
-		Sched:        opts.Sched,
-		SeqThreshold: opts.SeqThreshold,
-		Config:       &cfg,
-	})
+	res, err := core.Run(g, opts.coreOptions(&cfg))
 	if err != nil {
 		return nil, fmt.Errorf("topomap: %w", err)
 	}
+	return newResult(res), nil
+}
+
+// newResult lifts an orchestration-layer run result into the public shape.
+func newResult(res *core.RunResult) *Result {
 	return &Result{
 		Topology:     res.Topology,
 		Ticks:        res.Stats.Ticks,
 		Messages:     res.Stats.NonBlankMessages,
 		Transactions: res.Transactions,
-	}, nil
+	}
 }
 
 // Verify reports whether mapped is port-preserving isomorphic to the truth
@@ -309,16 +327,7 @@ type Session struct {
 // first Map call.
 func NewSession(opts Options) *Session {
 	cfg := opts.config()
-	return &Session{inner: core.NewSession(core.Options{
-		Root:         opts.Root,
-		MaxTicks:     opts.MaxTicks,
-		Validate:     opts.Validate,
-		Workers:      opts.Workers,
-		Dense:        opts.Dense,
-		Sched:        opts.Sched,
-		SeqThreshold: opts.SeqThreshold,
-		Config:       &cfg,
-	})}
+	return &Session{inner: core.NewSession(opts.coreOptions(&cfg))}
 }
 
 // Map runs the protocol on g, reusing the session's engine state. It is
@@ -338,12 +347,7 @@ func (s *Session) finish(res *core.RunResult, err error) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("topomap: %w", err)
 	}
-	return &Result{
-		Topology:     res.Topology,
-		Ticks:        res.Stats.Ticks,
-		Messages:     res.Stats.NonBlankMessages,
-		Transactions: res.Transactions,
-	}, nil
+	return newResult(res), nil
 }
 
 // Close releases the session's engine worker pool. It is idempotent, and a
@@ -386,6 +390,13 @@ type BatchItem struct {
 // before MapBatch returns. The returned error is non-nil only for a
 // cancelled context or, with StopOnError, the first (lowest-index) item
 // error; per-item failures otherwise leave it nil.
+//
+// MapBatch is a synchronous wrapper over the service layer (see NewService
+// for the long-lived, asynchronous form): it submits every graph to a
+// fresh service pool of the requested size and awaits the jobs. The
+// semantics above — input-order results, per-item errors, StopOnError,
+// prompt cancellation — are asserted bit-for-bit against the pre-service
+// reference implementation by the equivalence suite.
 func MapBatch(ctx context.Context, graphs []*Graph, opts BatchOptions) ([]BatchItem, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -401,6 +412,16 @@ func MapBatch(ctx context.Context, graphs []*Graph, opts BatchOptions) ([]BatchI
 	if sessions > len(graphs) {
 		sessions = len(graphs)
 	}
+	cfg := opts.config()
+	pool := service.New(service.Options{
+		Size: sessions,
+		// The queue holds the whole batch, so every Submit below succeeds
+		// without blocking and FIFO order reproduces the reference
+		// implementation's index-order claiming.
+		QueueDepth: len(graphs),
+		Run:        opts.Options.coreOptions(&cfg),
+	})
+	defer pool.Close()
 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
@@ -408,20 +429,9 @@ func MapBatch(ctx context.Context, graphs []*Graph, opts BatchOptions) ([]BatchI
 
 	var (
 		mu       sync.Mutex
-		next     int // index of the next unclaimed graph
 		firstErr error
 		firstIdx = len(graphs)
 	)
-	claim := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= len(graphs) {
-			return -1
-		}
-		i := next
-		next++
-		return i
-	}
 	recordErr := func(i int, err error) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -431,38 +441,49 @@ func MapBatch(ctx context.Context, graphs []*Graph, opts BatchOptions) ([]BatchI
 	}
 
 	var wg sync.WaitGroup
-	for w := 0; w < sessions; w++ {
+	for i, g := range graphs {
+		i := i
 		wg.Add(1)
-		go func() {
+		// The completion hook runs synchronously on the serving goroutine
+		// before it dequeues its next job, so a StopOnError cancellation
+		// is visible to every later item exactly as it was when the batch
+		// claimed graphs from an index loop.
+		_, err := pool.Submit(ctx, g, service.JobOptions{OnDone: func(sj *service.Job) {
 			defer wg.Done()
-			s := NewSession(opts.Options)
-			defer s.Close()
-			for {
-				i := claim()
-				if i < 0 {
-					return
+			res, err := sj.Outcome()
+			if err != nil {
+				if sj.Ran() {
+					// The run itself failed or was aborted mid-run:
+					// wrapped like every run error of the package.
+					err = fmt.Errorf("topomap: %w", err)
 				}
-				if err := ctx.Err(); err != nil {
-					items[i] = BatchItem{Err: err}
-					continue
-				}
-				res, err := s.MapContext(ctx, graphs[i])
-				items[i] = BatchItem{Result: res, Err: err}
-				if err != nil {
-					// Cancellation artifacts — in-flight runs aborted
-					// because the parent context died or StopOnError
-					// already fired — are recorded per item but must
-					// not claim the first-error slot, or an aborted
-					// lower-index run would mask the causal failure.
-					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-						recordErr(i, err)
-						if opts.StopOnError {
-							cancel()
-						}
+				items[i] = BatchItem{Err: err}
+				// Cancellation artifacts — runs aborted because the
+				// parent context died or StopOnError already fired — are
+				// recorded per item but must not claim the first-error
+				// slot, or an aborted lower-index run would mask the
+				// causal failure.
+				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					recordErr(i, err)
+					if opts.StopOnError {
+						cancel()
 					}
 				}
+				return
 			}
-		}()
+			items[i] = BatchItem{Result: newResult(res)}
+		}})
+		if err != nil {
+			// Unreachable for a live pool with a batch-sized queue except
+			// for a nil graph; record it like any other item failure.
+			wg.Done()
+			err = fmt.Errorf("topomap: %w", err)
+			items[i] = BatchItem{Err: err}
+			recordErr(i, err)
+			if opts.StopOnError {
+				cancel()
+			}
+		}
 	}
 	wg.Wait()
 
