@@ -46,6 +46,7 @@ func BenchmarkE13Batch(b *testing.B)           { benchExperiment(b, "e13") }
 func BenchmarkE14Frontier(b *testing.B)        { benchExperiment(b, "e14") }
 func BenchmarkE15Adaptive(b *testing.B)        { benchExperiment(b, "e15") }
 func BenchmarkE16Serve(b *testing.B)           { benchExperiment(b, "e16") }
+func BenchmarkE17Hostile(b *testing.B)         { benchExperiment(b, "e17") }
 
 // Session-reuse benchmarks: the fresh/reused pair quantifies the session
 // refactor's allocation claim (run with -benchmem; the reused steady state

@@ -28,7 +28,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		family = fs.String("family", "random", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop)")
+		family = fs.String("family", "random", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop|er|ba|astier|chordal)")
 		n      = fs.Int("n", 20, "approximate node count")
 		delta  = fs.Int("delta", 3, "degree bound (random family)")
 		m      = fs.Int("m", 0, "edge target (random family; 0 = 2n)")

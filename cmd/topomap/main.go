@@ -6,9 +6,13 @@
 //
 //	topomap -family kautz -n 24 [-root 3] [-seed 7] [-dot out.dot] [-trace] [-stats]
 //	topomap -in graph.txt [-root 0] ...
+//	topomap -family ba -n 48 -droprate 0.01 -crash 5@200 -stats   # fault injection
 //
 // The input graph comes either from a built-in family (-family/-n/-seed) or
-// from a file in the plain-text format emitted by topogen (-in).
+// from a file in the plain-text format emitted by topogen (-in). The fault
+// flags (-droprate, -faultseed, -crash) inject deterministic message loss
+// and fail-stop crashes; a faulted run typically ends in a deadlock or
+// tick-budget error, which the command reports as a failure.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"topomap"
 	"topomap/internal/graph"
@@ -35,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("topomap", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		family  = fs.String("family", "torus", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop)")
+		family  = fs.String("family", "torus", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop|er|ba|astier|chordal)")
 		n       = fs.Int("n", 20, "approximate node count for the family")
 		seed    = fs.Int64("seed", 1, "seed for random families")
 		in      = fs.String("in", "", "read the graph from this file instead of generating one")
@@ -49,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dense   = fs.Bool("dense", false, "disable sparse frontier scheduling (dense reference sweep; identical results, O(N) slower ticks)")
 		sched   = fs.String("sched", "auto", "execution policy: auto (adaptive burst/parallel), seq (per-tick sequential), par (force parallel); identical results, different wall-clock")
 		seqThr  = fs.Int("seqthreshold", 0, "adaptive policy: frontier size below which ticks run as a sequential burst (0 = engine default)")
+		dropRt  = fs.Float64("droprate", 0, "fault injection: probability each emitted symbol is lost in flight (deterministic per -faultseed)")
+		faultSd = fs.Int64("faultseed", 1, "fault injection: seed of the message-loss hash")
+		crash   = fs.String("crash", "", "fault injection: fail-stop crash as node@tick (e.g. 5@200); repeatable with commas")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +68,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	policy, err := sim.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintf(stderr, "topomap: %v\n", err)
+		return 2
+	}
+
+	faults, err := parseFaults(*dropRt, *faultSd, *crash)
 	if err != nil {
 		fmt.Fprintf(stderr, "topomap: %v\n", err)
 		return 2
@@ -95,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Naive:        *dense,
 		Sched:        policy,
 		SeqThreshold: *seqThr,
+		Faults:       faults,
 		Transcript:   m.Process,
 	}, gtd.NewFactory(cfg))
 	st, err := eng.Run()
@@ -122,6 +137,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "stats:   ticks/(N·D)=%.2f  steps=%d  steps/tick=%.2f  peak-active=%d\n",
 			float64(st.Ticks)/float64(nd), st.StepCalls,
 			float64(st.StepCalls)/float64(st.Ticks), st.MaxActive)
+		if faults != nil {
+			fmt.Fprintf(stdout, "faults:  droprate=%g dropped=%d crashes=%d\n",
+				faults.DropRate, st.Dropped, len(faults.Crashes))
+		}
 		fmt.Fprintf(stdout, "sched:   policy=%v seq-ticks=%d par-ticks=%d bursts=%d\n",
 			policy, st.SeqTicks, st.ParTicks, st.Bursts)
 	}
@@ -152,6 +171,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseFaults assembles the engine fault plan from the CLI flags; a nil plan
+// means no fault injection. The crash spec is a comma-separated list of
+// node@tick pairs.
+func parseFaults(dropRate float64, seed int64, crashSpec string) (*sim.FaultPlan, error) {
+	if dropRate < 0 || dropRate > 1 {
+		return nil, fmt.Errorf("-droprate %g outside [0,1]", dropRate)
+	}
+	var crashes []sim.Crash
+	if crashSpec != "" {
+		for _, part := range strings.Split(crashSpec, ",") {
+			var c sim.Crash
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d@%d", &c.Node, &c.Tick); err != nil {
+				return nil, fmt.Errorf("-crash %q: want node@tick", part)
+			}
+			crashes = append(crashes, c)
+		}
+	}
+	if dropRate == 0 && len(crashes) == 0 {
+		return nil, nil
+	}
+	return &sim.FaultPlan{Seed: seed, DropRate: dropRate, Crashes: crashes}, nil
 }
 
 func loadGraph(path, family string, n int, seed int64) (*graph.Graph, error) {

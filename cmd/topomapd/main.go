@@ -17,6 +17,10 @@
 //	               graph=0 (omit the reconstruction text from the result).
 //	GET|POST /map  ?family=ring&n=64&seed=1 — generator shorthand: build a
 //	               member of a built-in family instead of posting a body.
+//	               Families: ring, biring, line, torus, kautz, debruijn,
+//	               hypercube, random, treeloop, er (Erdős–Rényi), ba
+//	               (Barabási–Albert), astier (AS/BGP tiers), chordal
+//	               (chordal k-ring).
 //	GET /stats     Pool statistics (queue depth, warm-hit rate, runs
 //	               served, allocs/run, latency means) as JSON.
 //	GET /healthz   Liveness probe.
@@ -25,6 +29,10 @@
 // /map answers 503 (with Retry-After) rather than queueing unboundedly —
 // or, with -block, holds the request until a slot frees. On SIGINT/SIGTERM
 // it drains: intake stops, accepted jobs finish, then the pool is released.
+//
+// For chaos testing, -droprate (with -faultseed) injects deterministic
+// message loss into every run the pool serves; faulted runs that stall
+// answer 422 with the engine's deadlock or budget error.
 package main
 
 import (
@@ -69,8 +77,14 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		maxNodes = fs.Int("maxnodes", 1<<16, "reject posted graphs larger than this")
 		every    = fs.Int("every", 0, "default ticks between progress events (0 = service default)")
 		drainFor = fs.Duration("drain", 30*time.Second, "shutdown budget for serving accepted jobs")
+		dropRt   = fs.Float64("droprate", 0, "chaos testing: inject deterministic message loss at this rate into every run")
+		faultSd  = fs.Int64("faultseed", 1, "chaos testing: seed of the message-loss hash")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dropRt < 0 || *dropRt > 1 {
+		fmt.Fprintf(stderr, "topomapd: -droprate %g outside [0,1]\n", *dropRt)
 		return 2
 	}
 
@@ -82,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		Deadline: *deadline,
 		MaxNodes: *maxNodes,
 		Every:    *every,
+		DropRate: *dropRt,
+		FaultSd:  *faultSd,
 	})
 	defer srv.svc.Close()
 
@@ -140,6 +156,8 @@ type serverConfig struct {
 	Deadline time.Duration
 	MaxNodes int
 	Every    int
+	DropRate float64
+	FaultSd  int64
 }
 
 // server is the daemon's HTTP surface over one topomap.Service.
@@ -152,9 +170,13 @@ type server struct {
 
 // newServer builds the handler and its service pool. Callers own svc.Close.
 func newServer(cfg serverConfig) *server {
+	var faults *topomap.FaultPlan
+	if cfg.DropRate > 0 {
+		faults = &topomap.FaultPlan{Seed: cfg.FaultSd, DropRate: cfg.DropRate}
+	}
 	s := &server{
 		svc: topomap.NewService(topomap.ServiceOptions{
-			Options:         topomap.Options{Workers: cfg.Workers},
+			Options:         topomap.Options{Workers: cfg.Workers, Faults: faults},
 			Sessions:        cfg.Pool,
 			QueueDepth:      cfg.Queue,
 			Block:           cfg.Block,

@@ -49,6 +49,10 @@ type Options struct {
 	SeqThreshold int
 	// Config overrides the paper's speed assignment; nil uses defaults.
 	Config *gtd.Config
+	// Faults, if non-nil, injects deterministic message loss and node
+	// crashes into the engine (sim.Options.Faults); the plan is fixed for
+	// the session's lifetime and re-armed on every run.
+	Faults *sim.FaultPlan
 	// Observers are attached to the engine (instrumentation).
 	Observers []sim.Observer
 	// Hooks receive protocol events (instrumentation).
@@ -191,6 +195,7 @@ func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult
 			Naive:        s.opts.Dense,
 			Sched:        s.opts.Sched,
 			SeqThreshold: s.opts.SeqThreshold,
+			Faults:       s.opts.Faults,
 			Transcript:   s.m.Process,
 			Observers:    obs,
 			RetainPool:   true,

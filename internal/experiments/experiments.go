@@ -141,6 +141,7 @@ var registry = []struct {
 	{"e14", E14FrontierScheduler},
 	{"e15", E15AdaptiveScheduler},
 	{"e16", E16ServedThroughput},
+	{"e17", E17Hostile},
 }
 
 // IDs lists experiment identifiers in order.

@@ -176,6 +176,41 @@ func checkInvariants(t *testing.T, id string, table *Table) {
 		if servedRows == 0 {
 			t.Error("E16 has no served rows")
 		}
+	case "e17":
+		// The fault-injection safety claim: no run ever ends silently
+		// wrong; fault-free control rows map exactly; the outcome split
+		// always accounts for every run; and the grid covers all four
+		// irregular families with at least two distinct nonzero fault
+		// configurations each.
+		fam, fault := col(table, "family"), col(table, "fault")
+		runs, exact := col(table, "runs"), col(table, "exact")
+		detected, silent := col(table, "detected"), col(table, "silent")
+		faultsPerFam := map[string]map[string]bool{}
+		for _, row := range table.Rows {
+			if row[silent] != "0" {
+				t.Errorf("E17 silently wrong run: %v", row)
+			}
+			r, _ := strconv.Atoi(row[runs])
+			x, _ := strconv.Atoi(row[exact])
+			d, _ := strconv.Atoi(row[detected])
+			if x+d != r {
+				t.Errorf("E17 outcomes do not sum to runs: %v", row)
+			}
+			if row[fault] == "none" && x != r {
+				t.Errorf("E17 fault-free control not fully exact: %v", row)
+			}
+			if row[fault] != "none" {
+				if faultsPerFam[row[fam]] == nil {
+					faultsPerFam[row[fam]] = map[string]bool{}
+				}
+				faultsPerFam[row[fam]][row[fault]] = true
+			}
+		}
+		for _, f := range []string{"er", "ba", "astier", "chordal"} {
+			if len(faultsPerFam[f]) < 2 {
+				t.Errorf("E17 family %s has %d nonzero fault configs, want >= 2", f, len(faultsPerFam[f]))
+			}
+		}
 	case "e14":
 		// Dense and sparse scheduling must be observationally identical
 		// on every row, and at N=1024 the sparse scheduler must examine

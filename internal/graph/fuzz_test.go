@@ -39,6 +39,17 @@ func FuzzUnmarshal(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	// Encoded instances of the irregular families seed the corpus with
+	// skewed-degree wiring patterns (saturated hubs, reserve-port repairs,
+	// chord fans) that the hand-written seeds above never produce.
+	for _, g := range []*Graph{
+		ErdosRenyi(10, 5, 0.3, 3),
+		BarabasiAlbert(10, 2, 5, 3),
+		ASTiers(12, 6, 3),
+		ChordalRing(9, 3),
+	} {
+		f.Add(g.MarshalString())
+	}
 	// Fuzz through the explicit-limit entry point with a tight cap, the
 	// way the daemon consumes it: the parse logic is shared with the
 	// default path, and the small cap keeps a mutated "nodes <huge>"

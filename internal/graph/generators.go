@@ -321,12 +321,19 @@ const (
 	FamilyHypercube Family = "hypercube"
 	FamilyRandom    Family = "random"
 	FamilyTreeLoop  Family = "treeloop"
+
+	// Irregular families (see irregular.go).
+	FamilyErdosRenyi     Family = "er"
+	FamilyBarabasiAlbert Family = "ba"
+	FamilyASTiers        Family = "astier"
+	FamilyChordalRing    Family = "chordal"
 )
 
 // AllFamilies lists every named family in deterministic order.
 func AllFamilies() []Family {
 	return []Family{FamilyRing, FamilyBiRing, FamilyLine, FamilyTorus,
-		FamilyKautz, FamilyDeBruijn, FamilyHypercube, FamilyRandom, FamilyTreeLoop}
+		FamilyKautz, FamilyDeBruijn, FamilyHypercube, FamilyRandom, FamilyTreeLoop,
+		FamilyErdosRenyi, FamilyBarabasiAlbert, FamilyASTiers, FamilyChordalRing}
 }
 
 // Build constructs a member of the family with approximately n nodes (exact
@@ -370,6 +377,20 @@ func Build(f Family, n int, seed int64) (*Graph, error) {
 		return Hypercube(d), nil
 	case FamilyRandom:
 		return Random(maxInt(2, n), 3, 2*n, seed), nil
+	case FamilyErdosRenyi:
+		n = maxInt(2, n)
+		p := 3 / float64(n)
+		if p > 1 {
+			p = 1
+		}
+		return ErdosRenyi(n, 5, p, seed), nil
+	case FamilyBarabasiAlbert:
+		return BarabasiAlbert(maxInt(2, n), 2, 5, seed), nil
+	case FamilyASTiers:
+		return ASTiers(maxInt(2, n), 6, seed), nil
+	case FamilyChordalRing:
+		n = maxInt(2, n)
+		return ChordalRing(n, minInt(3, n-1)), nil
 	case FamilyTreeLoop:
 		h := 1
 		for (1<<(h+1))-1 < n && h < 18 {
@@ -383,6 +404,13 @@ func Build(f Family, n int, seed int64) (*Graph, error) {
 
 func maxInt(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
 		return a
 	}
 	return b

@@ -1,0 +1,312 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Irregular graph families. The paper's model (§1.1) covers *arbitrary*
+// strongly-connected degree-bounded directed multigraphs, but the regular
+// families (ring, torus, Kautz, de Bruijn) exercise none of the degree and
+// distance skew real networks show. The four generators here produce
+// irregular instances that still satisfy every model requirement — strong
+// connectivity, a uniform in/out-degree bound δ, no self-loops, every node
+// with at least one wired port per side — and are deterministic per seed, so
+// experiments and equivalence tests can reproduce any instance exactly.
+
+// ErdosRenyi returns a directed Erdős–Rényi graph G(n, p) under the model's
+// port discipline: every ordered pair (u, v), u ≠ v, receives a wire with
+// probability p, subject to the degree bound delta. Sampling keeps one
+// in-port and one out-port of every node in reserve, and a final repair pass
+// (see repairStrong) links the strongly connected components into a cycle
+// through those reserved ports, so the result is always strongly connected —
+// including at p values far below the classic log(n)/n connectivity
+// threshold. Deterministic per seed. Requires n ≥ 2 and delta ≥ 2.
+func ErdosRenyi(n, delta int, p float64, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: Erdős–Rényi graph needs n >= 2")
+	}
+	if delta < 2 {
+		panic("graph: Erdős–Rényi graph needs delta >= 2")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: Erdős–Rényi probability %v outside [0,1]", p))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, delta)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			// The rng stream is consumed for every pair, taken or not, so
+			// the instance depends only on (n, p, seed) — not on how many
+			// earlier edges hit a full port.
+			take := rng.Float64() < p
+			if !take {
+				continue
+			}
+			// Reserve the last port on each side for the repair pass.
+			if g.OutDegree(u) >= delta-1 || g.InDegree(v) >= delta-1 {
+				continue
+			}
+			g.MustConnect(u, g.FreeOutPort(u), v, g.FreeInPort(v))
+		}
+	}
+	repairStrong(g)
+	return g
+}
+
+// BarabasiAlbert returns a scale-free graph by degree-capped preferential
+// attachment: nodes m0 = m+1 .. n-1 join one at a time, each attaching to m
+// earlier nodes chosen proportionally to their current degree (the
+// Barabási–Albert rule), over a directed seed cycle on the first m+1 nodes.
+// Each attachment is wired reciprocally (one wire each way, the undirected
+// BA edge under the model's port discipline), so the hub tree keeps the
+// family's logarithmic diameter and the graph is strongly connected by
+// construction. Hubs accumulate edges only up to the cap delta-1 — one
+// in-port and one out-port per node stay in reserve; when every
+// preferential candidate is saturated, the attachment degrades to a
+// one-directional wire (skewing in/out asymmetry exactly where hubs
+// saturate) and a final repair pass (repairStrong) re-links any components
+// that leaves behind. The degree distribution stays heavily skewed (capped
+// hubs) while every model requirement holds. Deterministic per seed.
+// Requires n ≥ 2, m ≥ 1, and delta ≥ m+1.
+func BarabasiAlbert(n, m, delta int, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: Barabási–Albert graph needs n >= 2")
+	}
+	if m < 1 {
+		panic("graph: Barabási–Albert graph needs m >= 1")
+	}
+	if delta < m+1 {
+		panic(fmt.Sprintf("graph: Barabási–Albert graph needs delta >= m+1 (got delta=%d, m=%d)", delta, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, delta)
+	m0 := m + 1
+	if m0 > n {
+		m0 = n
+	}
+	// Seed cycle: strongly connected and gives every seed node degree > 0
+	// so preferential attachment has mass to draw from.
+	for v := 0; v < m0; v++ {
+		g.MustConnect(v, g.FreeOutPort(v), (v+1)%m0, g.FreeInPort((v+1)%m0))
+	}
+	// targets repeats each node once per incident wire: drawing uniformly
+	// from it is drawing proportionally to degree.
+	targets := make([]int, 0, 4*n*m)
+	for v := 0; v < m0; v++ {
+		targets = append(targets, v, v)
+	}
+	// reciprocal reports whether w can take both wires of an attachment
+	// while honouring the one-port-per-side reserve.
+	reciprocal := func(w int) bool {
+		return g.InDegree(w) < delta-1 && g.OutDegree(w) < delta-1
+	}
+	for t := m0; t < n; t++ {
+		for e := 0; e < m; e++ {
+			w := -1
+			// Preferential draw with a bounded number of rejections
+			// (saturated hubs, duplicate targets), then a deterministic
+			// fallback sweep so attachment almost never fails.
+			for try := 0; try < 16*m; try++ {
+				cand := targets[rng.Intn(len(targets))]
+				if cand != t && reciprocal(cand) && !connected(g, t, cand) {
+					w = cand
+					break
+				}
+			}
+			if w >= 0 {
+				g.MustConnect(t, g.FreeOutPort(t), w, g.FreeInPort(w))
+				g.MustConnect(w, g.FreeOutPort(w), t, g.FreeInPort(t))
+				targets = append(targets, t, t, w, w)
+				continue
+			}
+			// Degraded attachment: a one-directional wire to any earlier
+			// node with spare in-capacity.
+			for cand := 0; cand < t; cand++ {
+				if g.InDegree(cand) < delta-1 && !connected(g, t, cand) {
+					w = cand
+					break
+				}
+			}
+			if w < 0 {
+				// Every earlier node saturated or already a target:
+				// possible only for tiny n; repair still wires t.
+				break
+			}
+			g.MustConnect(t, g.FreeOutPort(t), w, g.FreeInPort(w))
+			targets = append(targets, t, w)
+		}
+	}
+	repairStrong(g)
+	return g
+}
+
+// connected reports whether g already has a wire u→v (any ports).
+func connected(g *Graph, u, v int) bool {
+	for p := 1; p <= g.Delta(); p++ {
+		if e, ok := g.OutEndpoint(u, p); ok && e.Node == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ASTiers returns an AS/BGP-like three-tier hierarchy: a small densely
+// peered core (tier 0), a transit tier (tier 1) whose nodes each buy a
+// bidirectional customer–provider link from a core node, and stub networks
+// (tier 2) homed the same way on transit providers. The bidirectional
+// provider backbone plus the core cycle makes the graph strongly connected
+// by construction; one-directional peering links inside tier 1 and second
+// (multi-homing) uplinks from a fraction of the stubs then skew the in/out
+// degree distribution the way real AS graphs are skewed. Providers are
+// drawn per customer from the tier above among nodes with spare port
+// capacity. Deterministic per seed. Requires n ≥ 2 and delta ≥ 4.
+func ASTiers(n, delta int, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: AS-tier graph needs n >= 2")
+	}
+	if delta < 4 {
+		panic("graph: AS-tier graph needs delta >= 4")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, delta)
+	core := n / 10
+	if core < 2 {
+		core = 2
+	}
+	if core > n {
+		core = n
+	}
+	transitEnd := core + (n-core)/3 // tier 1 is a third of the rest
+	// Core ring: tier 0 is strongly connected on its own.
+	for v := 0; v < core; v++ {
+		g.MustConnect(v, g.FreeOutPort(v), (v+1)%core, g.FreeInPort((v+1)%core))
+	}
+	// pickProvider draws uniformly among tier-above candidates that still
+	// have a spare in- AND out-port beyond the model's one-per-side floor.
+	pickProvider := func(lo, hi int) int {
+		eligible := make([]int, 0, hi-lo)
+		for c := lo; c < hi; c++ {
+			if g.OutDegree(c) < g.Delta()-1 && g.InDegree(c) < g.Delta()-1 {
+				eligible = append(eligible, c)
+			}
+		}
+		if len(eligible) == 0 {
+			return -1
+		}
+		return eligible[rng.Intn(len(eligible))]
+	}
+	// Customer→provider uplinks, wired both ways (traffic flows both
+	// directions over a BGP customer-provider link).
+	for v := core; v < n; v++ {
+		lo, hi := 0, core
+		if v >= transitEnd {
+			lo, hi = core, transitEnd
+		}
+		p := pickProvider(lo, hi)
+		if p < 0 {
+			// Tier above saturated (tiny n / tight delta): climb to the
+			// core, then fall back to any node with spare capacity.
+			if p = pickProvider(0, core); p < 0 {
+				if p = pickProvider(0, v); p < 0 {
+					panic("graph: AS-tier provider capacity exhausted")
+				}
+			}
+		}
+		g.MustConnect(v, g.FreeOutPort(v), p, g.FreeInPort(p))
+		g.MustConnect(p, g.FreeOutPort(p), v, g.FreeInPort(v))
+	}
+	// One-directional peering inside tier 1: each transit node tries one
+	// peer link to another transit node (degree skew, shortcut routes).
+	for v := core; v < transitEnd; v++ {
+		if transitEnd-core < 2 || g.OutDegree(v) >= delta {
+			continue
+		}
+		w := core + rng.Intn(transitEnd-core)
+		if w != v && g.InDegree(w) < delta && !connected(g, v, w) {
+			g.MustConnect(v, g.FreeOutPort(v), w, g.FreeInPort(w))
+		}
+	}
+	// Multi-homing: every third stub tries a second, one-directional uplink.
+	for v := transitEnd; v < n; v += 3 {
+		if g.OutDegree(v) >= delta || transitEnd == core {
+			continue
+		}
+		w := core + rng.Intn(transitEnd-core)
+		if g.InDegree(w) < delta && !connected(g, v, w) {
+			g.MustConnect(v, g.FreeOutPort(v), w, g.FreeInPort(w))
+		}
+	}
+	return g
+}
+
+// ChordalRing returns the directed chordal k-ring C(n; 1..k): node v has a
+// wire to v+1, v+2, …, v+k (mod n). δ = k uniformly on both sides, the ring
+// edge guarantees strong connectivity, and the chords cut the diameter to
+// ⌈(n-1)/k⌉ — the classic constant-degree compromise between a ring and a
+// complete graph. Deterministic (no randomness). Requires n ≥ 2 and
+// 1 ≤ k ≤ n-1 (k = n-1 is the complete digraph; offsets never reach n, so
+// no self-loops arise).
+func ChordalRing(n, k int) *Graph {
+	if n < 2 {
+		panic("graph: chordal ring needs n >= 2")
+	}
+	if k < 1 || k > n-1 {
+		panic(fmt.Sprintf("graph: chordal ring needs 1 <= k <= n-1 (got n=%d, k=%d)", n, k))
+	}
+	g := New(n, k)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k; d++ {
+			g.MustConnect(v, d, (v+d)%n, d)
+		}
+	}
+	return g
+}
+
+// repairStrong makes g strongly connected by linking its strongly connected
+// components into a single cycle: each component donates one edge, from its
+// lowest-indexed member with a free out-port to the lowest-indexed member of
+// the next component with a free in-port. Linking every component of the
+// condensation in one cycle makes the whole graph strongly connected in a
+// single pass. Generators that call it keep one in-port and one out-port of
+// every node in reserve during construction, which guarantees the donor and
+// receiver ports exist; components are ordered by their smallest member, so
+// the repair is deterministic.
+func repairStrong(g *Graph) {
+	comps := g.SCCs()
+	if len(comps) <= 1 {
+		return
+	}
+	// SCCs returns components with sorted members; order them by smallest
+	// member for a canonical cycle.
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j][0] < comps[j-1][0]; j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	for i, comp := range comps {
+		next := comps[(i+1)%len(comps)]
+		from, to := -1, -1
+		for _, v := range comp {
+			if g.FreeOutPort(v) != 0 {
+				from = v
+				break
+			}
+		}
+		for _, v := range next {
+			if g.FreeInPort(v) != 0 {
+				to = v
+				break
+			}
+		}
+		if from < 0 || to < 0 {
+			// Unreachable when the construction honoured the one-port
+			// reserve; a loud failure beats a silently disconnected graph.
+			panic("graph: SCC repair out of reserved ports")
+		}
+		g.MustConnect(from, g.FreeOutPort(from), to, g.FreeInPort(to))
+	}
+}

@@ -1,0 +1,230 @@
+package graph_test
+
+// Property suite for the irregular families (irregular.go). The tests live
+// in an external test package so the GTD round-trip can drive the real
+// protocol stack (sim + gtd + mapper) against every generated instance
+// without an import cycle.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"topomap/internal/graph"
+	"topomap/internal/gtd"
+	"topomap/internal/mapper"
+	"topomap/internal/sim"
+)
+
+var irregularFamilies = []graph.Family{
+	graph.FamilyErdosRenyi,
+	graph.FamilyBarabasiAlbert,
+	graph.FamilyASTiers,
+	graph.FamilyChordalRing,
+}
+
+// bfsPerm returns the permutation renaming every node of g to its discovery
+// index in a BFS from root following out-ports in ascending order — the same
+// traversal CanonicalFrom uses, and the order in which GTD's root discovers
+// (and therefore labels) the network. Relabelling both the truth and the
+// reconstruction by their own bfsPerm reduces the unique port-preserving
+// isomorphism to plain graph.Equal.
+func bfsPerm(g *graph.Graph, root int) []int {
+	perm := make([]int, g.N())
+	for i := range perm {
+		perm[i] = -1
+	}
+	next := 0
+	perm[root] = next
+	next++
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 1; p <= g.Delta(); p++ {
+			if e, ok := g.OutEndpoint(v, p); ok && perm[e.Node] == -1 {
+				perm[e.Node] = next
+				next++
+				queue = append(queue, e.Node)
+			}
+		}
+	}
+	if next != g.N() {
+		panic("bfsPerm: graph not strongly connected")
+	}
+	return perm
+}
+
+// mapGTD runs the full protocol on g rooted at 0 and returns the topology
+// reconstructed from the root's transcript.
+func mapGTD(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	m := mapper.New(g.Delta())
+	eng := sim.New(g, sim.Options{Transcript: m.Process}, gtd.NewFactory(gtd.DefaultConfig()))
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("protocol run failed: %v", err)
+	}
+	mapped, err := m.Finish()
+	if err != nil {
+		t.Fatalf("transcript decoding failed: %v", err)
+	}
+	return mapped
+}
+
+// TestFamilyPropertyMatrix is the pinned property matrix of the irregular
+// families: every family × size × seed must produce a valid instance of the
+// paper's model (strongly connected, degree-bounded, no self-loops, every
+// port side wired), construction must be deterministic per seed, and GTD
+// must reconstruct the instance exactly. Instances are deduplicated by
+// canonical form before the (expensive) protocol run, so seed-independent
+// families map once per size instead of once per seed.
+func TestFamilyPropertyMatrix(t *testing.T) {
+	sizes := []int{16, 64, 256}
+	const seeds = 8
+	for _, fam := range irregularFamilies {
+		for _, n := range sizes {
+			t.Run(fmt.Sprintf("%s/n%d", fam, n), func(t *testing.T) {
+				if testing.Short() && n > 64 {
+					t.Skip("large GTD round-trips skipped in -short mode")
+				}
+				unique := map[string]*graph.Graph{}
+				for seed := 0; seed < seeds; seed++ {
+					g, err := graph.Build(fam, n, int64(seed))
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if err := g.Validate(); err != nil {
+						t.Fatalf("seed %d: invalid instance: %v", seed, err)
+					}
+					if !g.StronglyConnected() {
+						t.Fatalf("seed %d: not strongly connected", seed)
+					}
+					for v := 0; v < g.N(); v++ {
+						if d := g.OutDegree(v); d < 1 || d > g.Delta() {
+							t.Fatalf("seed %d: node %d out-degree %d outside [1,%d]", seed, v, d, g.Delta())
+						}
+						if d := g.InDegree(v); d < 1 || d > g.Delta() {
+							t.Fatalf("seed %d: node %d in-degree %d outside [1,%d]", seed, v, d, g.Delta())
+						}
+					}
+					// Determinism: the same seed must rebuild the identical
+					// graph — same labels, same ports, same canonical form.
+					g2, err := graph.Build(fam, n, int64(seed))
+					if err != nil {
+						t.Fatalf("seed %d: rebuild: %v", seed, err)
+					}
+					if !g.Equal(g2) {
+						t.Fatalf("seed %d: rebuild differs from first build", seed)
+					}
+					if g.CanonicalFrom(0) != g2.CanonicalFrom(0) {
+						t.Fatalf("seed %d: canonical form not deterministic", seed)
+					}
+					unique[g.CanonicalFrom(0)] = g
+				}
+				for _, g := range unique {
+					mapped := mapGTD(t, g)
+					if !g.IsomorphicFrom(0, mapped, 0) {
+						t.Fatalf("GTD reconstruction not isomorphic to the truth (%v)", g)
+					}
+					// The isomorphism is unique (forced by port numbers), so
+					// relabelling both sides by their BFS discovery order
+					// must yield literally equal graphs.
+					gg := g.Relabel(bfsPerm(g, 0))
+					mm := mapped.Relabel(bfsPerm(mapped, 0))
+					if !gg.Equal(mm) {
+						t.Fatalf("GTD reconstruction does not round-trip to graph.Equal (%v)", g)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFamilyGeneratorBounds pins parameter validation at the edges: the raw
+// generators reject degenerate sizes and insufficient degree bounds loudly,
+// while Build clamps approximate sizes instead of failing.
+func TestFamilyGeneratorBounds(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("er n=0", func() { graph.ErdosRenyi(0, 5, 0.5, 1) })
+	mustPanic("er n=1", func() { graph.ErdosRenyi(1, 5, 0.5, 1) })
+	mustPanic("er delta=1", func() { graph.ErdosRenyi(8, 1, 0.5, 1) })
+	mustPanic("er p<0", func() { graph.ErdosRenyi(8, 5, -0.1, 1) })
+	mustPanic("er p>1", func() { graph.ErdosRenyi(8, 5, 1.1, 1) })
+	mustPanic("ba n=0", func() { graph.BarabasiAlbert(0, 2, 5, 1) })
+	mustPanic("ba n=1", func() { graph.BarabasiAlbert(1, 2, 5, 1) })
+	mustPanic("ba m=0", func() { graph.BarabasiAlbert(8, 0, 5, 1) })
+	mustPanic("ba delta<m+1", func() { graph.BarabasiAlbert(8, 3, 3, 1) })
+	mustPanic("astier n=0", func() { graph.ASTiers(0, 6, 1) })
+	mustPanic("astier n=1", func() { graph.ASTiers(1, 6, 1) })
+	mustPanic("astier delta=3", func() { graph.ASTiers(8, 3, 1) })
+	mustPanic("chordal n=0", func() { graph.ChordalRing(0, 1) })
+	mustPanic("chordal n=1", func() { graph.ChordalRing(1, 1) })
+	mustPanic("chordal k=0", func() { graph.ChordalRing(8, 0) })
+	mustPanic("chordal k=n", func() { graph.ChordalRing(8, 8) })
+
+	// Build clamps degenerate sizes to the family minimum instead of
+	// panicking, and pathological seeds must still yield valid instances.
+	for _, fam := range irregularFamilies {
+		for _, n := range []int{0, 1, 2} {
+			g, err := graph.Build(fam, n, 1)
+			if err != nil {
+				t.Fatalf("Build(%s, %d): %v", fam, n, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Build(%s, %d): invalid: %v", fam, n, err)
+			}
+		}
+		for _, seed := range []int64{0, -1, math.MinInt64, math.MaxInt64} {
+			g, err := graph.Build(fam, 24, seed)
+			if err != nil {
+				t.Fatalf("Build(%s, seed=%d): %v", fam, seed, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Build(%s, seed=%d): invalid: %v", fam, seed, err)
+			}
+		}
+	}
+
+	// Extremes of the chordal parameter that are legal: k=1 is the plain
+	// ring, k=n-1 the complete digraph.
+	if g := graph.ChordalRing(6, 1); g.NumEdges() != 6 {
+		t.Errorf("chordal k=1 must be the 6-ring, got %d edges", g.NumEdges())
+	}
+	if g := graph.ChordalRing(6, 5); g.NumEdges() != 30 {
+		t.Errorf("chordal k=n-1 must be complete, got %d edges", g.NumEdges())
+	}
+}
+
+// TestFamilyDegreeSkew pins what makes the irregular families irregular: the
+// scale-free and AS-tier constructions must produce genuinely skewed degree
+// distributions (a max degree well above the minimum), unlike the regular
+// families where every node looks alike.
+func TestFamilyDegreeSkew(t *testing.T) {
+	for _, fam := range []graph.Family{graph.FamilyBarabasiAlbert, graph.FamilyASTiers} {
+		g, err := graph.Build(fam, 256, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minDeg, maxDeg := g.N(), 0
+		for v := 0; v < g.N(); v++ {
+			d := g.OutDegree(v) + g.InDegree(v)
+			if d < minDeg {
+				minDeg = d
+			}
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if maxDeg < minDeg+3 {
+			t.Errorf("%s: degree range [%d,%d] too uniform for an irregular family", fam, minDeg, maxDeg)
+		}
+	}
+}

@@ -1,7 +1,11 @@
 package gtd_test
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"topomap/internal/graph"
 	"topomap/internal/gtd"
@@ -127,6 +131,200 @@ func TestFaultDropRandomGraph(t *testing.T) {
 				t.Errorf("victim %d drop@%d produced a wrong map silently", victim, dropAt)
 			}
 		}
+	}
+}
+
+// irregularFaultGraphs is the corpus the engine-level fault-plan tests
+// sweep: one instance of each irregular family, sized so a clean run takes
+// thousands of ticks (a tick-100 crash is genuinely mid-map).
+func irregularFaultGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"er":      graph.ErdosRenyi(18, 5, 0.15, 7),
+		"ba":      graph.BarabasiAlbert(18, 2, 5, 9),
+		"astier":  graph.ASTiers(21, 6, 3),
+		"chordal": graph.ChordalRing(15, 3),
+	}
+}
+
+// runWithPlan executes GTD under an engine-level fault plan (message loss,
+// fail-stop crashes) and classifies how the run ended, in the same outcome
+// vocabulary as runWithFault. The tick budget bounds every run: "no hang"
+// is enforced structurally.
+func runWithPlan(g *graph.Graph, plan *sim.FaultPlan) (outcome string) {
+	defer func() {
+		if r := recover(); r != nil {
+			outcome = "panic"
+		}
+	}()
+	m := mapper.New(g.Delta())
+	eng := sim.New(g, sim.Options{
+		Root:       0,
+		MaxTicks:   100_000,
+		Faults:     plan,
+		Transcript: m.Process,
+	}, gtd.NewFactory(gtd.DefaultConfig()))
+	stats, err := eng.Run()
+	if err != nil {
+		return "engine-error"
+	}
+	mapped, err := m.Finish()
+	if err != nil {
+		return "mapper-error"
+	}
+	exact := g.IsomorphicFrom(0, mapped, 0)
+	switch {
+	case stats.Dropped == 0 && len(plan.Crashes) == 0:
+		if exact {
+			return "no-fault-exact"
+		}
+		return "SILENT-WRONG"
+	case exact:
+		return "redundant-exact"
+	default:
+		return "SILENT-WRONG"
+	}
+}
+
+// TestFaultPlanDropNeverSilentlyWrong sweeps engine-level message loss over
+// the irregular families: across rates and fault seeds, a lossy run either
+// absorbs the losses (exact map) or fails loudly — never a silently wrong
+// topology.
+func TestFaultPlanDropNeverSilentlyWrong(t *testing.T) {
+	dist := map[string]int{}
+	for name, g := range irregularFaultGraphs() {
+		for _, rate := range []float64{0.0005, 0.005, 0.05} {
+			for seed := int64(1); seed <= 4; seed++ {
+				o := runWithPlan(g, &sim.FaultPlan{Seed: seed, DropRate: rate})
+				dist[o]++
+				if o == "SILENT-WRONG" {
+					t.Errorf("%s rate=%g seed=%d produced a wrong map silently", name, rate, seed)
+				}
+			}
+		}
+	}
+	t.Logf("drop-plan outcomes: %v", dist)
+	if dist["engine-error"]+dist["panic"]+dist["mapper-error"] == 0 {
+		t.Error("expected loud failures across the drop grid (injections too weak?)")
+	}
+}
+
+// TestFaultPlanCrashMidMap crashes a non-root node mid-map on every
+// irregular family. The protocol cannot finish without the victim, so every
+// run must fail cleanly — a deadlock/budget engine error, a decoder error,
+// or a protocol assertion — within the tick budget.
+func TestFaultPlanCrashMidMap(t *testing.T) {
+	for name, g := range irregularFaultGraphs() {
+		for _, victim := range []int{1, g.N() / 2, g.N() - 1} {
+			o := runWithPlan(g, &sim.FaultPlan{Crashes: []sim.Crash{{Node: victim, Tick: 100}}})
+			switch o {
+			case "engine-error", "mapper-error", "panic":
+				// Loud, classified, bounded: exactly what a dead node owes.
+			default:
+				t.Errorf("%s crash victim %d: outcome %q, want a loud failure", name, victim, o)
+			}
+		}
+	}
+}
+
+// TestFaultPlanEngineReuseAfterFailure pins the reuse contract the session
+// layer depends on: an engine whose run was wrecked by faults — crash
+// deadlock or heavy loss — must, after SetFaults(nil) and Reset, produce a
+// run bit-identical to a fresh engine's, and its worker pool must not leak
+// across the failure (checked with a real multi-worker pool).
+func TestFaultPlanEngineReuseAfterFailure(t *testing.T) {
+	g := graph.BarabasiAlbert(18, 2, 5, 9)
+	plans := []*sim.FaultPlan{
+		{Crashes: []sim.Crash{{Node: 9, Tick: 100}}},
+		{Seed: 3, DropRate: 0.05},
+	}
+	reference := func() (string, *graph.Graph) {
+		var b strings.Builder
+		m := mapper.New(g.Delta())
+		eng := sim.New(g, sim.Options{
+			MaxTicks: 100_000,
+			Workers:  4,
+			Transcript: func(e sim.TranscriptEntry) {
+				m.Process(e)
+				fmt.Fprintf(&b, "%d:%v%v\n", e.Tick, e.In, e.Out)
+			},
+		}, gtd.NewFactory(gtd.DefaultConfig()))
+		stats, err := eng.Run()
+		if err != nil {
+			t.Fatalf("clean reference run failed: %v", err)
+		}
+		mapped, err := m.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "ticks=%d msgs=%d\n", stats.Ticks, stats.NonBlankMessages)
+		return b.String(), mapped
+	}
+	want, wantMapped := reference()
+	if !g.IsomorphicFrom(0, wantMapped, 0) {
+		t.Fatal("clean reference run did not map exactly")
+	}
+
+	for i, plan := range plans {
+		leakCheck(t, fmt.Sprintf("plan-%d", i), func() {
+			var b strings.Builder
+			m := mapper.New(g.Delta())
+			var record bool
+			eng := sim.New(g, sim.Options{
+				MaxTicks:   100_000,
+				Workers:    4,
+				RetainPool: true,
+				Faults:     plan,
+				Transcript: func(e sim.TranscriptEntry) {
+					m.Process(e)
+					if record {
+						fmt.Fprintf(&b, "%d:%v%v\n", e.Tick, e.In, e.Out)
+					}
+				},
+			}, gtd.NewFactory(gtd.DefaultConfig()))
+			defer eng.Close()
+			if _, err := eng.Run(); err == nil {
+				if _, err := m.Finish(); err == nil {
+					t.Fatalf("plan %d: faulted run must fail", i)
+				}
+			}
+			// Clear the faults and reuse the engine: the rerun must be
+			// bit-identical to the fresh reference.
+			eng.SetFaults(nil)
+			eng.Reset(g)
+			m = mapper.New(g.Delta())
+			record = true
+			stats, err := eng.Run()
+			if err != nil {
+				t.Fatalf("plan %d: reused engine failed: %v", i, err)
+			}
+			mapped, err := m.Finish()
+			if err != nil {
+				t.Fatalf("plan %d: reused engine decode failed: %v", i, err)
+			}
+			if !g.IsomorphicFrom(0, mapped, 0) {
+				t.Fatalf("plan %d: reused engine did not map exactly", i)
+			}
+			fmt.Fprintf(&b, "ticks=%d msgs=%d\n", stats.Ticks, stats.NonBlankMessages)
+			if got := b.String(); got != want {
+				t.Fatalf("plan %d: reused engine diverges from fresh:\nfresh:\n%s\nreused:\n%s", i, want, got)
+			}
+		})
+	}
+}
+
+// leakCheck runs fn and asserts the goroutine count settles back to its
+// starting level afterwards (the engine worker pool must not survive an
+// injected failure).
+func leakCheck(t *testing.T, name string, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("%s: leaked worker goroutines: %d before, %d after", name, before, got)
 	}
 }
 

@@ -103,6 +103,83 @@ func TestDenseSparseFailureEquivalence(t *testing.T) {
 	}
 }
 
+// faultTranscript is denseSparseTranscript with a fault plan installed; the
+// canonical string additionally pins the deterministic drop count, so every
+// mode must lose the same symbols at the same ticks. Faults can drive the
+// protocol automata into states they consider impossible, which panics; the
+// engine re-raises such panics deterministically (lowest active node, same
+// tick), so the panic payload is folded into the canonical string too.
+func faultTranscript(t *testing.T, g *graph.Graph, plan *sim.FaultPlan, naive bool, workers, maxTicks int) (out string) {
+	t.Helper()
+	var b strings.Builder
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(&b, "panic: %v\n", r)
+			out = b.String()
+		}
+	}()
+	eng := sim.New(g, sim.Options{
+		MaxTicks:          maxTicks,
+		Naive:             naive,
+		Workers:           workers,
+		ParallelThreshold: 1,
+		Faults:            plan,
+		Transcript: func(e sim.TranscriptEntry) {
+			fmt.Fprintf(&b, "%d:", e.Tick)
+			for p, m := range e.In {
+				if !m.IsBlank() {
+					fmt.Fprintf(&b, "i%d=%v;", p, m)
+				}
+			}
+			for p, m := range e.Out {
+				if !m.IsBlank() {
+					fmt.Fprintf(&b, "o%d=%v;", p, m)
+				}
+			}
+			b.WriteByte('\n')
+		},
+	}, gtd.NewFactory(gtd.DefaultConfig()))
+	stats, err := eng.Run()
+	fmt.Fprintf(&b, "stats: ticks=%d msgs=%d maxactive=%d dropped=%d\n",
+		stats.Ticks, stats.NonBlankMessages, stats.MaxActive, stats.Dropped)
+	fmt.Fprintf(&b, "err: %v\n", err)
+	return b.String()
+}
+
+// TestDenseSparseFaultEquivalence extends the scheduler contract to faulted
+// runs on the irregular families: with message loss and fail-stop crashes
+// injected, the transcript, the drop count, and the failure outcome must
+// stay bit-identical between dense and sparse scheduling at every worker
+// count — a crashed node's stale wheel wake must not produce extra idle
+// ticks in sparse mode, and drop decisions must not depend on sharding.
+func TestDenseSparseFaultEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		plan *sim.FaultPlan
+	}{
+		{"er-drop", graph.ErdosRenyi(20, 5, 0.15, 7), &sim.FaultPlan{Seed: 3, DropRate: 0.01}},
+		{"ba-crash", graph.BarabasiAlbert(20, 2, 5, 9),
+			&sim.FaultPlan{Crashes: []sim.Crash{{Node: 10, Tick: 120}}}},
+		{"astier-drop-crash", graph.ASTiers(24, 6, 3),
+			&sim.FaultPlan{Seed: 11, DropRate: 0.005, Crashes: []sim.Crash{{Node: 5, Tick: 200}}}},
+		{"chordal-drop", graph.ChordalRing(16, 3), &sim.FaultPlan{Seed: 1, DropRate: 0.02}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := faultTranscript(t, tc.g, tc.plan, true, 1, 40_000)
+			for _, naive := range []bool{false, true} {
+				for _, workers := range []int{1, 2, 4, 8} {
+					if got := faultTranscript(t, tc.g, tc.plan, naive, workers, 40_000); got != want {
+						t.Fatalf("naive=%v workers=%d: faulted run diverges\nwant:\n%s\ngot:\n%s",
+							naive, workers, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestDenseSparsePanicEquivalence: a model-validation panic must carry the
 // same payload (lowest active node, same tick) whichever scheduler and
 // worker count produced it.

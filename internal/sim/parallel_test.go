@@ -28,6 +28,12 @@ func equivalenceGraphs(t *testing.T) map[string]*graph.Graph {
 		"random40":  graph.Random(40, 4, 100, 11),
 	}
 	gs["treeloop"] = graph.TreeLoop(3, graph.RandomPermutation(8, 5))
+	// Irregular families: skewed degrees and diameters stress scheduling
+	// paths the regular families never reach (saturated hubs, deep stubs).
+	gs["er20"] = graph.ErdosRenyi(20, 5, 0.15, 7)
+	gs["ba20"] = graph.BarabasiAlbert(20, 2, 5, 9)
+	gs["astier24"] = graph.ASTiers(24, 6, 3)
+	gs["chordal16"] = graph.ChordalRing(16, 3)
 	return gs
 }
 

@@ -311,11 +311,16 @@ type Options struct {
 	// The engine remains resettable afterwards. Sessions wire a
 	// context.Context's Err here for prompt batch cancellation.
 	Cancel func() error
+	// Faults, if non-nil, injects deterministic message loss and node
+	// crashes (see FaultPlan). The plan is re-armed on every Reset; faults
+	// preserve the determinism guarantee across workers, policies, and
+	// dense/sparse scheduling.
+	Faults *FaultPlan
 }
 
-// Stats summarises a run. Ticks, NonBlankMessages, StepCalls, and MaxActive
-// are protocol observables covered by the determinism guarantee: identical
-// for every worker count and scheduling policy. SeqTicks, ParTicks, and
+// Stats summarises a run. Ticks, NonBlankMessages, StepCalls, MaxActive, and
+// Dropped are protocol observables covered by the determinism guarantee:
+// identical for every worker count and scheduling policy. SeqTicks, ParTicks, and
 // Bursts are scheduler telemetry — they describe how the run was dispatched
 // (and so vary with Workers and Sched by design) and are excluded from the
 // equivalence guarantee.
@@ -324,6 +329,7 @@ type Stats struct {
 	NonBlankMessages int64 // total non-blank symbols delivered
 	StepCalls        int64 // automaton steps executed
 	MaxActive        int   // peak simultaneously active processors
+	Dropped          int64 // symbols lost to fault injection (0 without a plan)
 
 	SeqTicks int64 // ticks dispatched on the calling goroutine (incl. idle ticks)
 	ParTicks int64 // ticks fanned out across the worker pool
@@ -462,6 +468,14 @@ type Engine struct {
 	rootInBuf  []wire.Message
 	rootOutBuf []wire.Message
 
+	// Resolved fault plan (see faults.go): the drop comparison bar, the
+	// per-node crash tick (math.MaxInt = never), and whether any crash is
+	// scheduled at all (the per-node hot-path guard).
+	faults   *FaultPlan
+	dropBar  uint64
+	hasCrash bool
+	crashAt  []int
+
 	workers int     // resolved worker count (≥ 1)
 	parMin  int     // minimum per-tick work to dispatch in parallel
 	seqSh   shard   // scratch shard for sequential ticks (its buffers persist)
@@ -486,9 +500,8 @@ type Engine struct {
 // private tick tallies, next-frontier appends, and timing-wheel traffic
 // (wake records and stale-entry counts); all are merged in shard-index
 // order after the barrier, so nothing depends on goroutine scheduling. The
-// fields occupy 120 bytes on 64-bit targets; the padding rounds the struct
-// to 128 bytes (two cache lines) so adjacent shards' hot counters never
-// share a line.
+// fields occupy 128 bytes on 64-bit targets (two cache lines), so adjacent
+// shards' hot counters never share a line.
 type shard struct {
 	lo, hi    int
 	stepCalls int64
@@ -497,9 +510,9 @@ type shard struct {
 	unwoke    int64 // pending wheel wakes invalidated by an early step
 	anyActive bool
 	panicked  any
+	dropped   int64     // symbols lost to fault injection this tick
 	next      []int32   // frontier appends for tick t+1 (sparse mode)
 	wakes     []wakeRec // timing-wheel appends (sparse mode)
-	_         [8]byte
 }
 
 // wakeRec is one deferred wake: schedule node v hold+1 ticks after the tick
@@ -561,6 +574,7 @@ func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 
 	e.resizeBuffers(n, delta)
 	e.resetWorkers(n)
+	e.installFaults(n)
 
 	for v := 0; v < n; v++ {
 		info := NodeInfo{
@@ -910,6 +924,22 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 	delta := e.delta
 	in := e.in[v]
 	out := e.outBuf[v]
+	if e.crashed(v) {
+		// Fail-stop: the dead node neither steps nor emits, and symbols
+		// delivered to it are swallowed (blanked so the reused input plane
+		// stays clean). Any pending timing-wheel wake is voided — the node
+		// will never re-park, so this happens at most once per node.
+		if hasIn {
+			for p := 0; p < delta; p++ {
+				in[p].Blank()
+			}
+		}
+		if e.sparse && e.wakeStamp[v] != 0 {
+			e.wakeStamp[v] = 0
+			sh.unwoke++
+		}
+		return
+	}
 	var hld Holder
 	if e.sparse {
 		// Timing-wheel catch-up: a pending wake becomes stale the moment
@@ -944,6 +974,13 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 		dst := e.route[v][p]
 		if dst.Node < 0 {
 			panic(fmt.Sprintf("sim: node %d tick %d wrote to unwired out-port %d", v, e.tick, p+1))
+		}
+		if e.dropBar != 0 && e.dropped(v, p) {
+			// Lost in flight: validated, then never delivered — the
+			// emitter's transcript still records the write, the receiver
+			// never learns of it.
+			sh.dropped++
+			continue
 		}
 		e.nextIn[dst.Node][dst.Port] = out[p]
 		e.markDelivery(dst.Node, sh, par)
@@ -1019,6 +1056,19 @@ func (e *Engine) scheduleWake(v, h int, sh *shard, par bool) {
 // no per-node skip test: the scheduler's work is exactly O(frontier).
 func (e *Engine) stepFrontier(nodes []int32, sh *shard, par bool) {
 	epoch := e.epoch
+	if e.hasCrash {
+		// With crashes, a frontier entry is not proof of activity: a dead
+		// node enqueued by a stale wake or a swallowed delivery must not
+		// hold off quiescence — the dense sweep would not count it either.
+		for _, v := range nodes {
+			hasIn := e.hasStamp[v] == epoch
+			if hasIn || !e.crashed(int(v)) {
+				sh.anyActive = true
+			}
+			e.stepNode(int(v), hasIn, sh, par)
+		}
+		return
+	}
 	for _, v := range nodes {
 		e.stepNode(int(v), e.hasStamp[v] == epoch, sh, par)
 	}
@@ -1035,7 +1085,7 @@ func (e *Engine) stepRangeDense(lo, hi int, sh *shard, par bool) {
 	epoch := e.epoch
 	for v := lo; v < hi; v++ {
 		hasIn := e.hasStamp[v] == epoch
-		if hasIn || e.procs[v].Busy() {
+		if hasIn || (!e.crashed(v) && e.procs[v].Busy()) {
 			sh.anyActive = true
 		}
 		e.stepNode(v, hasIn, sh, par)
@@ -1047,7 +1097,7 @@ func (e *Engine) stepRangeDense(lo, hi int, sh *shard, par bool) {
 // first-delivered a symbol for the next tick.
 func (e *Engine) stepSequential() (bool, int) {
 	sh := &e.seqSh
-	sh.stepCalls, sh.nonBlank, sh.lives, sh.unwoke, sh.anyActive = 0, 0, 0, 0, false
+	sh.stepCalls, sh.nonBlank, sh.lives, sh.unwoke, sh.dropped, sh.anyActive = 0, 0, 0, 0, 0, false
 	if e.sparse {
 		// Append straight into the engine's next-frontier buffer; wheel
 		// traffic is applied in place (scheduleWake), only invalidations
@@ -1062,6 +1112,7 @@ func (e *Engine) stepSequential() (bool, int) {
 	}
 	e.stats.StepCalls += sh.stepCalls
 	e.stats.NonBlankMessages += sh.nonBlank
+	e.stats.Dropped += sh.dropped
 	e.stats.SeqTicks++
 	return sh.anyActive, int(sh.lives)
 }
@@ -1154,7 +1205,7 @@ func (e *Engine) stepParallel() (bool, int) {
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]
-		sh.stepCalls, sh.nonBlank, sh.lives, sh.unwoke, sh.anyActive, sh.panicked = 0, 0, 0, 0, false, nil
+		sh.stepCalls, sh.nonBlank, sh.lives, sh.unwoke, sh.dropped, sh.anyActive, sh.panicked = 0, 0, 0, 0, 0, false, nil
 		sh.next = sh.next[:0]
 		sh.wakes = sh.wakes[:0]
 	}
@@ -1175,6 +1226,7 @@ func (e *Engine) stepParallel() (bool, int) {
 		}
 		e.stats.StepCalls += sh.stepCalls
 		e.stats.NonBlankMessages += sh.nonBlank
+		e.stats.Dropped += sh.dropped
 		lives += int(sh.lives)
 		anyActive = anyActive || sh.anyActive
 		if e.sparse {
@@ -1327,6 +1379,9 @@ func (e *Engine) RunOne() (bool, error) {
 		}()
 	}
 
+	if e.hasCrash {
+		e.purgeCrashWakes()
+	}
 	e.rootIn, e.rootOut = nil, nil
 	var anyActive bool
 	var lives int
@@ -1408,6 +1463,12 @@ func (e *Engine) runBurst() (bool, error) {
 				return false, fmt.Errorf("sim: run cancelled at tick %d: %w", e.tick, err)
 			}
 		}
+		if e.hasCrash {
+			// Void dead nodes' parked wakes before the idle check, or a
+			// crash landing mid-stretch would keep the clock advancing
+			// past the quiescence the dense path declares immediately.
+			e.purgeCrashWakes()
+		}
 		if len(e.frontier) == 0 && e.wheelLive > 0 {
 			e.advanceIdleTick()
 			continue
@@ -1429,7 +1490,7 @@ func (e *Engine) runBurst() (bool, error) {
 // from the frontier).
 func (e *Engine) anyPending() bool {
 	for v := 0; v < e.g.N(); v++ {
-		if e.hasStamp[v] == e.epoch || e.procs[v].Busy() {
+		if e.hasStamp[v] == e.epoch || (!e.crashed(v) && e.procs[v].Busy()) {
 			return true
 		}
 	}

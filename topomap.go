@@ -110,6 +110,13 @@ const (
 	FamilyHypercube = graph.FamilyHypercube
 	FamilyRandom    = graph.FamilyRandom
 	FamilyTreeLoop  = graph.FamilyTreeLoop
+
+	// Irregular families: realistic degree- and distance-skewed networks,
+	// deterministic per seed and always valid under the model.
+	FamilyErdosRenyi     = graph.FamilyErdosRenyi
+	FamilyBarabasiAlbert = graph.FamilyBarabasiAlbert
+	FamilyASTiers        = graph.FamilyASTiers
+	FamilyChordalRing    = graph.FamilyChordalRing
 )
 
 // Graph construction and generators, re-exported from the graph engine.
@@ -138,6 +145,14 @@ var (
 	TreeLoop = graph.TreeLoop
 	// Random is a random strongly connected graph with degree bound.
 	Random = graph.Random
+	// ErdosRenyi is a strongly-connected bounded-degree directed G(n, p).
+	ErdosRenyi = graph.ErdosRenyi
+	// BarabasiAlbert is a degree-capped, SCC-repaired scale-free graph.
+	BarabasiAlbert = graph.BarabasiAlbert
+	// ASTiers is an AS/BGP-like three-tier provider hierarchy.
+	ASTiers = graph.ASTiers
+	// ChordalRing is the directed chordal k-ring C(n; 1..k).
+	ChordalRing = graph.ChordalRing
 	// TwoCycle is the smallest legal network: two mutually linked nodes.
 	TwoCycle = graph.TwoCycle
 	// Build constructs a member of a named family with ≈n nodes.
@@ -201,7 +216,22 @@ type Options struct {
 	// keeps the burst until the frontier doubles past it or reaches the
 	// parallel threshold). 0 keeps the engine default.
 	SeqThreshold int
+	// Faults, if non-nil, injects hostile run conditions — deterministic
+	// per-wire message loss and fail-stop node crashes — into the
+	// simulated network (robustness measurement; E17). The protocol is
+	// not fault-tolerant: a faulted run typically fails with a deadlock
+	// or tick-budget error rather than completing. Fault injection
+	// preserves the determinism guarantee: the same plan yields the same
+	// outcome for every worker count and scheduling policy.
+	Faults *FaultPlan
 }
+
+// FaultPlan configures fault injection for Options.Faults; see the fields'
+// documentation in internal/sim.
+type FaultPlan = sim.FaultPlan
+
+// Crash is one fail-stop node failure of a FaultPlan.
+type Crash = sim.Crash
 
 // SchedPolicy selects how the engine dispatches each global clock tick; see
 // Options.Sched.
@@ -256,6 +286,7 @@ func (o Options) coreOptions(cfg *gtd.Config) core.Options {
 		Sched:        o.Sched,
 		SeqThreshold: o.SeqThreshold,
 		Config:       cfg,
+		Faults:       o.Faults,
 	}
 }
 
