@@ -219,8 +219,11 @@ func TestSessionSteadyStateAllocs(t *testing.T) {
 				}
 			})
 			// 6 today: Result, RunResult, and the reconstruction
-			// graph's four allocations. Slack for harness noise.
-			if allocs > 16 {
+			// graph's four allocations. No slack — the memory-lean
+			// engine keeps every per-run buffer (planes, scratch,
+			// stamps, automata) recycled, and a single reintroduced
+			// per-run allocation should fail loudly.
+			if allocs > 6 {
 				t.Fatalf("steady-state session run allocates too much: %.0f allocs/run", allocs)
 			}
 		})

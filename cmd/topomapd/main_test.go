@@ -100,6 +100,14 @@ func TestEndToEndRing64(t *testing.T) {
 	if st.Served != 1 || st.Failed != 0 {
 		t.Fatalf("stats after one run: %+v", st)
 	}
+	// Memory telemetry must be live after a served run: the engine and
+	// arena footprints are nonzero, and bytes/node is consistent.
+	if st.EngineBytes <= 0 || st.ArenaBytes <= 0 || st.EngineBytesPerNode <= 0 {
+		t.Fatalf("memory telemetry missing after one run: %+v", st)
+	}
+	if st.HeapInUse == 0 {
+		t.Fatalf("heap-in-use not reported: %+v", st)
+	}
 
 	// /healthz answers.
 	var health map[string]any

@@ -13,6 +13,7 @@ import (
 	"topomap/internal/gtd"
 	"topomap/internal/mapper"
 	"topomap/internal/sim"
+	"topomap/internal/wire"
 )
 
 // Run executes the Global Topology Determination protocol.
@@ -75,6 +76,7 @@ type Options struct {
 // session may keep running (the pool restarts lazily).
 type Session struct {
 	opts    Options
+	arena   *gtd.Arena
 	factory func(sim.NodeInfo) sim.Automaton
 	m       *mapper.Mapper
 	eng     *sim.Engine
@@ -109,7 +111,45 @@ func NewSession(opts Options) *Session {
 			hooks(node, kind, payload)
 		}
 	}
-	return &Session{opts: opts, factory: gtd.NewFactory(cfg)}
+	a := gtd.NewArena(cfg)
+	return &Session{opts: opts, arena: a, factory: a.Factory()}
+}
+
+// MemInfo is the session's resident-memory accounting: the engine's buffer
+// planes plus the automata arena. Memory is host telemetry, deliberately
+// separate from the protocol statistics in RunResult (which are covered by
+// the determinism guarantee and must not vary with allocator behaviour).
+type MemInfo struct {
+	// Engine is the simulation engine's buffer accounting; zero before
+	// the first run (no engine exists yet).
+	Engine sim.MemInfo
+	// ArenaBytes is the memory pinned by the automata arena's blocks;
+	// Automata is the number of processor slots handed out.
+	ArenaBytes int64
+	Automata   int
+	// TotalBytes is engine + arena; BytesPerNode divides it by the last
+	// run's node count (0 before the first run).
+	TotalBytes   int64
+	BytesPerNode float64
+}
+
+// Mem reports the session's resident buffer footprint. Cheap (slice-header
+// walks only); call it between runs — not concurrently with one.
+func (s *Session) Mem() MemInfo {
+	m := MemInfo{
+		ArenaBytes: s.arena.FootprintBytes(),
+		Automata:   s.arena.Allocated(),
+	}
+	if s.eng != nil {
+		m.Engine = s.eng.Mem()
+	}
+	m.TotalBytes = m.Engine.TotalBytes + m.ArenaBytes
+	if s.eng != nil {
+		if n := s.eng.Graph().N(); n > 0 {
+			m.BytesPerNode = float64(m.TotalBytes) / float64(n)
+		}
+	}
+	return m
 }
 
 // Run maps g from the session's configured root.
@@ -173,6 +213,12 @@ func (s *Session) run(ctx context.Context, g *graph.Graph, root int) (*RunResult
 	}
 	if root < 0 || root >= g.N() {
 		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, g.N())
+	}
+	if g.Delta() > wire.MaxDelta {
+		return nil, fmt.Errorf("core: graph degree %d exceeds the wire-format limit %d", g.Delta(), wire.MaxDelta)
+	}
+	if g.N() >= sim.MaxNodes {
+		return nil, fmt.Errorf("core: graph has %d nodes, engine limit is %d", g.N(), sim.MaxNodes-1)
 	}
 	s.ctx = ctx
 	defer func() { s.ctx = nil }()

@@ -10,6 +10,7 @@ import (
 	"topomap/internal/graph"
 	"topomap/internal/gtd"
 	"topomap/internal/sim"
+	"topomap/internal/wire"
 )
 
 func TestRunMapsExactly(t *testing.T) {
@@ -29,6 +30,63 @@ func TestRunMapsExactly(t *testing.T) {
 		if res.Transactions < g.NumEdges() || res.Transactions > 2*g.NumEdges() {
 			t.Fatalf("implausible transaction count %d for %d edges", res.Transactions, g.NumEdges())
 		}
+	}
+}
+
+// TestSessionMemAccounting pins the session memory report's shape: empty
+// before the first run (no engine), engine + arena + a sane bytes/node
+// after it, and plane-capacity reuse visible across a shrink.
+func TestSessionMemAccounting(t *testing.T) {
+	// Windowed runs (they end in ErrMaxTicks) still populate the report;
+	// N=10000 sits above the arena's 4096-slot chunk granularity, which
+	// dominates bytes/node on toy graphs.
+	s := NewSession(Options{Workers: 1, MaxTicks: 200})
+	defer s.Close()
+	if m := s.Mem(); m.Engine.TotalBytes != 0 || m.ArenaBytes != 0 || m.BytesPerNode != 0 {
+		t.Fatalf("fresh session reports nonzero memory: %+v", m)
+	}
+	g := graph.Ring(10_000)
+	if _, err := s.Run(g); !errors.Is(err, sim.ErrMaxTicks) {
+		t.Fatalf("windowed run: want ErrMaxTicks, got %v", err)
+	}
+	m := s.Mem()
+	if m.Engine.TotalBytes <= 0 || m.ArenaBytes <= 0 || m.Automata < g.N() {
+		t.Fatalf("post-run memory report incomplete: %+v", m)
+	}
+	if m.TotalBytes != m.Engine.TotalBytes+m.ArenaBytes {
+		t.Fatalf("total %d != engine %d + arena %d", m.TotalBytes, m.Engine.TotalBytes, m.ArenaBytes)
+	}
+	// The per-node cost of a δ=2 graph is a few hundred bytes (DESIGN.md
+	// §2.6); a wildly larger number means the accounting double-counts or
+	// a plane regressed to per-message structs.
+	if m.BytesPerNode < 100 || m.BytesPerNode > 1000 {
+		t.Fatalf("ring-10000 bytes/node %.1f outside sane band", m.BytesPerNode)
+	}
+	// Shrinking reuses buffers: total bytes must not grow, bytes/node
+	// re-divides over the smaller run.
+	if _, err := s.Run(graph.Ring(2000)); !errors.Is(err, sim.ErrMaxTicks) {
+		t.Fatalf("windowed shrink run: want ErrMaxTicks, got %v", err)
+	}
+	m2 := s.Mem()
+	if m2.TotalBytes > m.TotalBytes {
+		t.Fatalf("shrink grew the footprint: %d -> %d bytes", m.TotalBytes, m2.TotalBytes)
+	}
+	if m2.BytesPerNode <= m.BytesPerNode {
+		t.Fatalf("bytes/node did not re-divide over the smaller graph: %.1f -> %.1f",
+			m.BytesPerNode, m2.BytesPerNode)
+	}
+}
+
+// TestRunRejectsOversizedGraphs covers the friendly pre-engine guards:
+// the engine's packed route caps node count, the wire format caps degree.
+func TestRunRejectsOversizedDegree(t *testing.T) {
+	// Delta beyond wire.MaxDelta cannot be built by the generators (they
+	// validate), so construct directly.
+	g := graph.New(2, wire.MaxDelta+1)
+	g.MustConnect(0, 1, 1, 1)
+	g.MustConnect(1, 1, 0, 1)
+	if _, err := Run(g, Options{}); err == nil {
+		t.Fatal("degree beyond wire.MaxDelta must be rejected with an error, not a panic")
 	}
 }
 

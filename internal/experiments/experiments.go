@@ -142,6 +142,7 @@ var registry = []struct {
 	{"e15", E15AdaptiveScheduler},
 	{"e16", E16ServedThroughput},
 	{"e17", E17Hostile},
+	{"e18", E18Scale},
 }
 
 // IDs lists experiment identifiers in order.

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"topomap/internal/graph"
 )
 
 // TestAllExperimentsQuick runs every experiment at Quick scale: the
@@ -210,6 +212,39 @@ func checkInvariants(t *testing.T, id string, table *Table) {
 			if len(faultsPerFam[f]) < 2 {
 				t.Errorf("E17 family %s has %d nonzero fault configs, want >= 2", f, len(faultsPerFam[f]))
 			}
+		}
+	case "e18":
+		// The memory-refactor acceptance gate: at N=100000 the engine's
+		// own accounting must sit ≥4× below the pre-refactor heap
+		// baseline, and the windowed transcript fingerprint must equal
+		// the pre-refactor anchor — memory went down, behaviour did not
+		// move.
+		fam, n := col(table, "family"), col(table, "N")
+		acct, fp := col(table, "B/node(acct)"), col(table, "fp")
+		budgets := map[string]struct {
+			maxBPN float64
+			anchor string
+		}{
+			"ring": {e18OldBytesPerNode[graph.FamilyRing] / 4, anchorRing100k},
+			"er":   {e18OldBytesPerNode[graph.FamilyErdosRenyi] / 4, anchorER100k},
+		}
+		checked := 0
+		for _, row := range table.Rows {
+			b, ok := budgets[row[fam]]
+			if !ok || row[n] != "100000" {
+				continue
+			}
+			checked++
+			if v, _ := strconv.ParseFloat(row[acct], 64); v <= 0 || v > b.maxBPN {
+				t.Errorf("E18 %s N=1e5 bytes/node %s over the 4x budget %.1f", row[fam], row[acct], b.maxBPN)
+			}
+			if row[fp] != b.anchor {
+				t.Errorf("E18 %s N=1e5 fingerprint diverged from the pre-refactor anchor\n got  %s\n want %s",
+					row[fam], row[fp], b.anchor)
+			}
+		}
+		if checked != 2 {
+			t.Errorf("E18 checked %d of the 2 required N=1e5 anchor rows", checked)
 		}
 	case "e14":
 		// Dense and sparse scheduling must be observationally identical

@@ -17,7 +17,7 @@ func (p *Processor) startRCA(tok wire.LoopToken) {
 	p.rca.tok = tok
 	p.rca.ini.Start()
 	p.live |= liveRCAIni
-	p.cfg.hook(p.info.Index, EvRCAStart, int(tok.Type))
+	p.cfg.hook(p.node(), EvRCAStart, int(tok.Type))
 }
 
 // rcaRelease is RCA step 4: on receipt of the OD tail, processor A
@@ -59,7 +59,7 @@ func (p *Processor) startBCA(targetPort uint8, payload wire.Payload) {
 	p.bcaI.payload = payload
 	p.bcaI.ini.Start()
 	p.live |= liveBCAIni
-	p.cfg.hook(p.info.Index, EvBCAStart, int(payload))
+	p.cfg.hook(p.node(), EvBCAStart, int(payload))
 }
 
 // bcaTargetRelease mirrors RCA step 4 at the BCA target: as the BD tail is
@@ -81,7 +81,7 @@ func (p *Processor) bcaTargetComplete(payload wire.Payload) {
 		}
 		p.dfs.finished |= 1 << (p.dfs.pendingOut - 1)
 		p.dfs.pendingOut = 0
-		if p.info.Root {
+		if p.info.root {
 			// The root's master computer observes the return in
 			// the transcript; no RCA is run (design choice 2).
 			p.dfsAdvance()
@@ -102,8 +102,8 @@ func (p *Processor) bcaTargetComplete(payload wire.Payload) {
 // DFS token through the lowest-numbered unfinished connected out-port, or
 // hand it back to the parent; the root terminates instead.
 func (p *Processor) dfsAdvance() {
-	for port := 1; port <= p.info.Delta; port++ {
-		if !p.info.OutWired[port-1] {
+	for port := 1; port <= p.delta(); port++ {
+		if !p.info.outWired(port) {
 			continue
 		}
 		if p.dfs.finished&(1<<(port-1)) != 0 {
@@ -112,13 +112,13 @@ func (p *Processor) dfsAdvance() {
 		p.dfs.pendingOut = uint8(port)
 		p.scratch.dfsSet = true
 		p.scratch.dfsPort = uint8(port)
-		p.cfg.hook(p.info.Index, EvDFSSent, port)
+		p.cfg.hook(p.node(), EvDFSSent, port)
 		return
 	}
 	// All out-ports finished.
-	if p.info.Root {
+	if p.info.root {
 		p.terminated = true
-		p.cfg.hook(p.info.Index, EvTerminated, 0)
+		p.cfg.hook(p.node(), EvTerminated, 0)
 		return
 	}
 	p.startBCA(p.dfs.parentIn, wire.PayloadDFSReturn)

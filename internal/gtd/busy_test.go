@@ -11,11 +11,11 @@ import (
 // ports per side, optionally the root.
 func fakeInfo(root bool) sim.NodeInfo {
 	return sim.NodeInfo{
-		Index:    0,
-		Root:     root,
-		Delta:    2,
-		InWired:  []bool{true, true},
-		OutWired: []bool{true, true},
+		Index: 0,
+		Root:  root,
+		Delta: 2,
+		InW:   0b11,
+		OutW:  0b11,
 	}
 }
 

@@ -21,7 +21,8 @@ import (
 // speed-ablation experiment E10.
 type Config struct {
 	// SnakeDelay is the per-hop hold of all snake characters (paper: all
-	// snakes are speed-1, delay 2).
+	// snakes are speed-1, delay 2). Bounded by snake.MaxDelay — the packed
+	// pipelines size their buffers for it.
 	SnakeDelay int
 	// LoopDelay is the per-hop hold of the FORWARD/BACK/ACK loop tokens
 	// (paper: speed-1, delay 2).

@@ -17,7 +17,7 @@ func (p *Processor) DebugState() string {
 			s += fmt.Sprintf(" grow%d{v=%t p=%d n=%d}", i, p.grow[i].Visited, p.grow[i].ParentIn, p.grow[i].PipeLen())
 		}
 	}
-	if p.info.Root {
+	if p.info.root {
 		s += fmt.Sprintf(" root{closed=%t idActive=%t}", p.root.conv.Visited, p.root.idActive)
 	}
 	return s

@@ -115,8 +115,8 @@ func (p *Processor) emitGrowAt(out []wire.Message, g snake.GrowOut, idx int) {
 		return
 	}
 	kind := wire.GrowKindAt(idx)
-	for port := 1; port <= p.info.Delta; port++ {
-		if !p.info.OutWired[port-1] {
+	for port := 1; port <= p.delta(); port++ {
+		if !p.info.outWired(port) {
 			continue
 		}
 		c := g.Char
@@ -129,8 +129,8 @@ func (p *Processor) emitGrowAt(out []wire.Message, g snake.GrowOut, idx int) {
 
 // broadcastKill emits the KILL token through every wired out-port.
 func (p *Processor) broadcastKill(out []wire.Message) {
-	for port := 1; port <= p.info.Delta; port++ {
-		if p.info.OutWired[port-1] {
+	for port := 1; port <= p.delta(); port++ {
+		if p.info.outWired(port) {
 			out[port-1].Kill = true
 		}
 	}

@@ -91,7 +91,7 @@ func TestHoldSpeedAblations(t *testing.T) {
 	for _, cfg := range []Config{
 		{SnakeDelay: 1, LoopDelay: 1, UnmarkDelay: 0, KillDelay: 0},
 		{SnakeDelay: 4, LoopDelay: 4, UnmarkDelay: 1, KillDelay: 1},
-		{SnakeDelay: 6, LoopDelay: 6, UnmarkDelay: 0, KillDelay: 0},
+		{SnakeDelay: 3, LoopDelay: 6, UnmarkDelay: 0, KillDelay: 0},
 	} {
 		cfg := cfg
 		t.Run(fmt.Sprintf("snake%d.kill%d", cfg.SnakeDelay, cfg.KillDelay), func(t *testing.T) {

@@ -52,7 +52,7 @@ func (p *Processor) ResidueReport() Residue {
 		}
 		r.GrowChars += p.grow[i].PipeLen()
 	}
-	if p.info.Root {
+	if p.info.root {
 		// The root's closure is reported separately: during an RCA it
 		// is legitimate transaction state, not percolating residue.
 		r.RootClosed = p.root.conv.Visited

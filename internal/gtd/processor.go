@@ -1,8 +1,6 @@
 package gtd
 
 import (
-	"sync"
-
 	"topomap/internal/sim"
 	"topomap/internal/snake"
 	"topomap/internal/wire"
@@ -17,15 +15,34 @@ import (
 // All fields are constant-bounded given the degree bound δ: port numbers,
 // phase enumerations, bit masks over ports, and bounded character pipelines.
 // The Index inside info is used exclusively for instrumentation hooks.
+// Fields are ordered by alignment class (pointers, then 4-byte, then 2-byte
+// and smaller) so the struct packs without internal padding: processors are
+// arena-allocated by the million, so every padding byte here is a byte per
+// network node.
 type Processor struct {
-	cfg  *Config
-	info sim.NodeInfo
+	cfg *Config
+	// root is the root-only RCA state, held out of line: exactly one node
+	// per run is the root, so inlining it would cost every node the
+	// struct. It is allocated lazily on the first run as root and kept
+	// (zeroed) across Resets; all accesses sit behind root-role guards.
+	root *rootState
+
+	info nodeInfo
+	dfs  dfsState
+
+	// Standalone-delivery and transaction counters (instrumentation).
+	deliveredCount int32
+	rcaCount       int32
 
 	// Pass-through snake machinery (one per kind).
 	grow [wire.NumGrowKinds]snake.GrowRelay
 	die  [wire.NumDieKinds]snake.DieRelay
 
+	rca  rcaInitState
+	bcaI bcaInitState
+
 	marks loopMarks
+	bcaT  bcaTargetState
 
 	// live is the component-occupancy bitmask (see the live* constants):
 	// bit b is set while the corresponding component may still act
@@ -41,12 +58,6 @@ type Processor struct {
 	// -1 means none.
 	killPending int8
 
-	dfs  dfsState
-	rca  rcaInitState
-	root rootState
-	bcaI bcaInitState
-	bcaT bcaTargetState
-
 	// rootKick makes the root take its first action (initial DFS send).
 	rootKick bool
 
@@ -56,12 +67,8 @@ type Processor struct {
 	kickPort    uint8
 	kickPayload wire.Payload
 
-	// Standalone-delivery and transaction counters (instrumentation).
-	lastDelivered  wire.Payload
-	deliveredCount int
-	rcaCount       int
-
-	terminated bool
+	lastDelivered wire.Payload // last standalone BCA payload (instrumentation)
+	terminated    bool
 
 	// scratch holds the emissions created by this tick's transitions; it
 	// is reset at the start of every Step.
@@ -97,6 +104,40 @@ var (
 	_ [wire.NumDieKinds - 3]struct{}
 	_ [3 - wire.NumDieKinds]struct{}
 )
+
+// nodeInfo is the processor's packed copy of its sim.NodeInfo: the wired-port
+// slices become per-direction bitmasks (ports are bounded by wire.MaxDelta,
+// so 32 bits suffice), shrinking the per-node footprint from the 72-byte
+// slice-headed struct to 16 bytes with no references for the GC to chase.
+type nodeInfo struct {
+	idx   int32
+	inW   uint32 // bit p-1 set ⇔ in-port p is wired
+	outW  uint32 // bit p-1 set ⇔ out-port p is wired
+	delta uint8
+	root  bool
+}
+
+func (i nodeInfo) inWired(port int) bool  { return i.inW&(1<<(port-1)) != 0 }
+func (i nodeInfo) outWired(port int) bool { return i.outW&(1<<(port-1)) != 0 }
+
+// node returns the processor's node index (instrumentation hooks only).
+func (p *Processor) node() int { return int(p.info.idx) }
+
+// delta returns the network's degree bound.
+func (p *Processor) delta() int { return int(p.info.delta) }
+
+func packInfo(info sim.NodeInfo) nodeInfo {
+	if info.Delta > wire.MaxDelta {
+		panic("gtd: degree bound exceeds wire.MaxDelta")
+	}
+	return nodeInfo{
+		idx:   int32(info.Index),
+		inW:   info.InW,
+		outW:  info.OutW,
+		delta: uint8(info.Delta),
+		root:  info.Root,
+	}
+}
 
 type scratch struct {
 	killNow  bool
@@ -249,41 +290,40 @@ func New(cfg *Config, info sim.NodeInfo) *Processor {
 // allocates nothing. The node's role — including whether it is the root —
 // may change between runs.
 func (p *Processor) Reset(info sim.NodeInfo) {
-	cfg := p.cfg
-	*p = Processor{cfg: cfg, info: info, killPending: -1}
+	cfg, root := p.cfg, p.root
+	*p = Processor{cfg: cfg, info: packInfo(info), killPending: -1}
 	for i := 0; i < wire.NumGrowKinds; i++ {
 		p.grow[i] = snake.NewGrowRelay(cfg.SnakeDelay)
 	}
 	for i := 0; i < wire.NumDieKinds; i++ {
 		p.die[i] = snake.NewDieRelay(cfg.SnakeDelay)
 	}
-	if info.Root {
+	if root != nil {
+		// Reuse the allocation across runs (the role may flip between
+		// runs; a stale zeroed rootState is inert on a non-root).
+		*root = rootState{}
+		p.root = root
+	}
+	if p.info.root {
+		if p.root == nil {
+			p.root = &rootState{}
+		}
 		p.root.conv = snake.NewGrowRelay(cfg.SnakeDelay)
 		p.dfs.visited = true
 		p.rootKick = !cfg.PassiveRoot
 	}
 }
 
-// NewFactory adapts New to the engine's factory signature. If cfg carries
-// hooks, every processor built by this factory shares one mutex around the
+// NewFactory adapts New to the engine's factory signature, backing all
+// processors it builds with one Arena: a handful of flat blocks instead of N
+// individual heap objects, and a single shared Config. If cfg carries hooks,
+// every processor built by this factory shares one mutex around the
 // callback: the engine may step processors of one pulse concurrently, and
 // serialising here keeps every hook consumer (experiment meters, traces,
 // tests) race-free without each one locking — see the Hooks doc for the
 // intra-tick ordering caveat this leaves.
 func NewFactory(cfg Config) func(sim.NodeInfo) sim.Automaton {
-	if cfg.Hooks != nil {
-		var mu sync.Mutex
-		inner := cfg.Hooks
-		cfg.Hooks = func(node int, kind EventKind, payload int) {
-			mu.Lock()
-			defer mu.Unlock()
-			inner(node, kind, payload)
-		}
-	}
-	return func(info sim.NodeInfo) sim.Automaton {
-		c := cfg
-		return New(&c, info)
-	}
+	return NewArena(cfg).Factory()
 }
 
 // Terminated reports whether the root has entered its terminal state.
@@ -335,7 +375,7 @@ func (p *Processor) liveBitBusy(bit uint16) bool {
 	case liveGrow2:
 		return p.grow[2].Busy()
 	case liveRootConv:
-		return p.root.conv.Busy()
+		return p.root != nil && p.root.conv.Busy()
 	case liveRCAIni:
 		return p.rca.ini.Busy()
 	case liveBCAIni:
@@ -349,7 +389,7 @@ func (p *Processor) liveBitBusy(bit uint16) bool {
 	case liveRCAConv:
 		return p.rca.conv.Armed() && !p.rca.conv.Done()
 	case liveODConv:
-		return p.root.odConv.Armed() && !p.root.odConv.Done()
+		return p.root != nil && p.root.odConv.Armed() && !p.root.odConv.Done()
 	case liveBCAConv:
 		return p.bcaI.conv.Armed() && !p.bcaI.conv.Done()
 	case liveMarks:
@@ -384,7 +424,7 @@ func (p *Processor) Step(in, out []wire.Message) {
 	// fresh snake character sharing a wire with a relayed KILL (both
 	// emitted by the same upstream processor in one tick) belongs to the
 	// *new* transaction and must survive.
-	for port := 1; port <= p.info.Delta; port++ {
+	for port := 1; port <= p.delta(); port++ {
 		if in[port-1].Kill {
 			p.handleKill()
 			break
@@ -393,7 +433,7 @@ func (p *Processor) Step(in, out []wire.Message) {
 
 	// Input phase: ports in ascending order so the paper's simultaneity
 	// tie-break (lowest in-port first) holds.
-	for port := 1; port <= p.info.Delta; port++ {
+	for port := 1; port <= p.delta(); port++ {
 		m := &in[port-1]
 		if m.IsBlank() {
 			continue

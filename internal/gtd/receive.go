@@ -11,7 +11,7 @@ import (
 func (p *Processor) receiveGrow(kind wire.SnakeKind, c snake.Char, port uint8) {
 	switch kind {
 	case wire.KindIG:
-		if p.info.Root {
+		if p.info.root {
 			// RCA step 2: the root accepts the first IG snake and
 			// converts it to the OG broadcast; the relay's
 			// visited/parent logic implements "closes itself off
@@ -31,7 +31,7 @@ func (p *Processor) receiveGrow(kind wire.SnakeKind, c snake.Char, port uint8) {
 		p.live |= liveGrow0
 
 	case wire.KindOG:
-		if p.info.Root {
+		if p.info.root {
 			// The root drops its own OG flood.
 			return
 		}
@@ -130,7 +130,7 @@ func (p *Processor) bcaReceiveBG(c snake.Char, port uint8) {
 func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 	switch kind {
 	case wire.KindID:
-		if p.info.Root {
+		if p.info.root {
 			p.rootReceiveID(c, port)
 			return
 		}
@@ -182,7 +182,7 @@ func (p *Processor) receiveDie(kind wire.SnakeKind, c snake.Char, port uint8) {
 				// has been delivered (design choice 1).
 				p.bcaT.armed = true
 				p.bcaT.payload = ev.Payload
-				p.cfg.hook(p.info.Index, EvBCADelivered, int(ev.Payload))
+				p.cfg.hook(p.node(), EvBCADelivered, int(ev.Payload))
 			}
 		}
 	default:
@@ -222,7 +222,7 @@ func (p *Processor) receiveLoop(t wire.LoopToken, port uint8) {
 	case p.rca.phase == rcaWaitLoopReturn &&
 		(t.Type == wire.LoopForward || t.Type == wire.LoopBack) &&
 		port == p.marks.pred1:
-		p.cfg.hook(p.info.Index, EvLoopReturn, int(t.Type))
+		p.cfg.hook(p.node(), EvLoopReturn, int(t.Type))
 		p.rca.phase = rcaWaitUnmark
 		p.createLoopToken(wire.LoopToken{Type: wire.LoopUnmark}, p.marks.succ1)
 
@@ -231,12 +231,12 @@ func (p *Processor) receiveLoop(t wire.LoopToken, port uint8) {
 		p.marks.clearAll()
 		p.rca.phase = rcaIdle
 		p.rca.conv.Disarm()
-		p.cfg.hook(p.info.Index, EvRCADone, 0)
+		p.cfg.hook(p.node(), EvRCADone, 0)
 		p.rcaComplete()
 
 	// BCA: the ACK returns to the target.
 	case p.bcaT.phase == btWaitAck && t.Type == wire.LoopAck && port == p.marks.pred1:
-		p.cfg.hook(p.info.Index, EvLoopReturn, int(t.Type))
+		p.cfg.hook(p.node(), EvLoopReturn, int(t.Type))
 		p.bcaT.phase = btWaitUnmark
 		p.createLoopToken(wire.LoopToken{Type: wire.LoopUnmark}, p.marks.succ1)
 
@@ -246,7 +246,7 @@ func (p *Processor) receiveLoop(t wire.LoopToken, port uint8) {
 		p.bcaT.phase = btIdle
 		payload := p.bcaT.payload
 		p.bcaT.payload = wire.PayloadNone
-		p.cfg.hook(p.info.Index, EvBCADone, 0)
+		p.cfg.hook(p.node(), EvBCADone, 0)
 		p.bcaTargetComplete(payload)
 
 	default:
@@ -282,8 +282,8 @@ func (p *Processor) rootReset() {
 // edge (§3). outP is the sender's out-port recorded in the token; port is
 // the receiving in-port.
 func (p *Processor) receiveDFS(outP, port uint8) {
-	p.cfg.hook(p.info.Index, EvDFSForwardArrival, int(outP))
-	if p.info.Root {
+	p.cfg.hook(p.node(), EvDFSForwardArrival, int(outP))
+	if p.info.root {
 		// A forward arrival at the root is always a revisit. The
 		// root's master computer observes it directly from the
 		// transcript, so no RCA is run (design choice 2); the token
@@ -324,7 +324,7 @@ func (p *Processor) handleKill() {
 			break
 		}
 	}
-	if p.info.Root && p.root.conv.Visited && !p.root.sealed {
+	if p.info.root && p.root.conv.Visited && !p.root.sealed {
 		// Seal the converter (see rootState.sealed) and flush any
 		// buffered characters — by the KILL's release point the
 		// conversion is complete, so the pipeline holds nothing the

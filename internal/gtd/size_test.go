@@ -1,0 +1,31 @@
+package gtd
+
+import (
+	"testing"
+	"unsafe"
+
+	"topomap/internal/snake"
+)
+
+// A Processor is the per-node cost of the automata arena: at a million
+// nodes every byte here is a megabyte of map state. The struct is
+// hand-ordered by alignment class to eliminate padding; this pin catches
+// both accidental field growth and a reorder that reopens holes.
+func TestProcessorSize(t *testing.T) {
+	cases := []struct {
+		name string
+		got  uintptr
+		want uintptr
+	}{
+		{"Processor", unsafe.Sizeof(Processor{}), 328},
+		{"snake.Pipeline", unsafe.Sizeof(snake.Pipeline{}), 22},
+		{"snake.GrowRelay", unsafe.Sizeof(snake.GrowRelay{}), 26},
+		{"snake.DieRelay", unsafe.Sizeof(snake.DieRelay{}), 26},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("sizeof(%s) = %d, want %d (arena bytes/node changes with it; update the pin and DESIGN.md deliberately)",
+				c.name, c.got, c.want)
+		}
+	}
+}

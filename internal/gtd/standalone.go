@@ -18,7 +18,7 @@ import (
 // transaction carrying the given loop token (FORWARD(i, j) or BACK) on its
 // next step. The processor must be idle and must not be the root.
 func (p *Processor) StartRCA(tok wire.LoopToken) error {
-	if p.info.Root {
+	if p.info.root {
 		return fmt.Errorf("gtd: the root cannot initiate an RCA with itself")
 	}
 	if p.rca.phase != rcaIdle || p.pendingKick != kickNone {
@@ -36,7 +36,7 @@ func (p *Processor) StartRCA(tok wire.LoopToken) error {
 // cleans up. The delivered payload is retrievable at the target via
 // DeliveredPayload.
 func (p *Processor) StartBCA(targetPort int, payload wire.Payload) error {
-	if targetPort < 1 || targetPort > p.info.Delta || !p.info.InWired[targetPort-1] {
+	if targetPort < 1 || targetPort > p.delta() || !p.info.inWired(targetPort) {
 		return fmt.Errorf("gtd: in-port %d is not wired", targetPort)
 	}
 	if p.bcaI.phase != biIdle || p.pendingKick != kickNone {
@@ -53,9 +53,9 @@ func (p *Processor) StartBCA(targetPort int, payload wire.Payload) error {
 // such deliveries completed. DFS returns of the full protocol are not
 // counted.
 func (p *Processor) DeliveredPayload() (wire.Payload, int) {
-	return p.lastDelivered, p.deliveredCount
+	return p.lastDelivered, int(p.deliveredCount)
 }
 
 // RCACount returns how many RCA transactions this processor completed as
 // the initiator.
-func (p *Processor) RCACount() int { return p.rcaCount }
+func (p *Processor) RCACount() int { return int(p.rcaCount) }

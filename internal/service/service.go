@@ -97,6 +97,17 @@ type Stats struct {
 	// claim.
 	AllocsPerRun uint64
 
+	// Memory telemetry. EngineBytes/EngineBytesPerNode/ArenaBytes are the
+	// buffer footprint of the session that most recently finished a run
+	// (one session's view, not a pool-wide sum — pool sessions are
+	// interchangeable, so one is representative of the steady state).
+	// HeapInUse is the process-wide live-object heap, read at snapshot
+	// time via runtime/metrics.
+	EngineBytes        int64
+	EngineBytesPerNode float64
+	ArenaBytes         int64
+	HeapInUse          uint64
+
 	// AvgQueueWait and AvgRun are means over served runs.
 	AvgQueueWait time.Duration
 	AvgRun       time.Duration
@@ -124,6 +135,11 @@ type Pool struct {
 	nextID      uint64
 
 	workers sync.WaitGroup
+
+	// lastMem is the memory report of the most recent finished run's
+	// session, refreshed by workers after every serve; memMu guards it.
+	memMu   sync.Mutex
+	lastMem core.MemInfo
 
 	baseMallocs uint64
 	stats       struct {
@@ -228,8 +244,14 @@ func (p *Pool) Stats() Stats {
 		Canceled:   p.stats.canceled.get(),
 		Panics:     p.stats.panics.get(),
 		WarmServes: p.stats.warm.get(),
+		HeapInUse:  heapInUse(),
 		Closed:     closed,
 	}
+	p.memMu.Lock()
+	s.EngineBytes = p.lastMem.Engine.TotalBytes
+	s.EngineBytesPerNode = p.lastMem.BytesPerNode
+	s.ArenaBytes = p.lastMem.ArenaBytes
+	p.memMu.Unlock()
 	if s.Served > 0 {
 		s.WarmHitRate = float64(s.WarmServes) / float64(s.Served)
 		s.AllocsPerRun = (mallocs() - p.baseMallocs) / s.Served
@@ -366,8 +388,16 @@ func (p *Pool) serve(s *core.Session, j *Job) (ok bool) {
 		s.SetProgress(0, nil)
 	}
 	p.stats.running.add(-1)
+	p.noteMem(s.Mem())
 	p.finishServe(j, started, wait, res, err, warm)
 	return true
+}
+
+// noteMem publishes a just-served session's memory report for Stats.
+func (p *Pool) noteMem(m core.MemInfo) {
+	p.memMu.Lock()
+	p.lastMem = m
+	p.memMu.Unlock()
 }
 
 // finishServe records the accounting of a run that executed and completes
@@ -406,6 +436,18 @@ func (p *Pool) release(j *Job) {
 // so a monitoring loop polling Pool.Stats never stalls in-flight runs.
 func mallocs() uint64 {
 	sample := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// heapInUse reads the process-wide live-heap size (bytes occupied by
+// reachable plus not-yet-swept objects), same non-stopping mechanism as
+// mallocs.
+func heapInUse() uint64 {
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
 	metrics.Read(sample)
 	if sample[0].Value.Kind() != metrics.KindUint64 {
 		return 0

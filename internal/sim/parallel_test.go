@@ -275,7 +275,7 @@ func (f *floodNode) Step(in, out []wire.Message) {
 	if f.kick || f.seen {
 		f.kick = false
 		for p := 1; p <= f.info.Delta; p++ {
-			if f.info.OutWired[p-1] {
+			if f.info.OutWired(p) {
 				// Deliberately malformed ports (200 > δ) to trip -validate.
 				out[p-1].SetGrow(wire.GrowChar{Kind: wire.KindIG, Out: 200, In: 200})
 			}

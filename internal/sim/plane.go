@@ -1,0 +1,132 @@
+package sim
+
+import "topomap/internal/wire"
+
+// The engine stores wire state as struct-of-arrays planes rather than dense
+// []wire.Message rows: a narrow per-port mask word (presence bits plus the
+// KILL flag) and separate packed payload planes per channel family. A port
+// slot costs 17 bytes per buffer side (2 mask + 6 grow + 6 die + 2 loop +
+// 1 dfs) against the 38-byte struct, and — far more importantly — the
+// per-tick hot paths (the delivery test, the consumed-input clear, the
+// blank sweep of an idle region) touch only the mask plane: 2 bytes per
+// port instead of a struct load. Payload planes are written only under
+// their mask bit and read only under it, so they are never cleared — a
+// stale word behind a clear mask is unreachable, exactly like the stale
+// fields behind wire.Message.Blank.
+//
+// Plane indexing: port slot i = v·δ + (p-1) for node v, 1-based port p.
+// mask, loop and dfs are indexed by slot; grow and die hold the three
+// snake kinds of their family at 3·i+k (kind = dense index k, so the kind
+// is implicit in the sub-slot and is not stored).
+type wirePlane struct {
+	mask []uint16 // presence bits | wire.KillBit, one per port slot
+	grow []uint16 // packed wire.GrowChar, three kinds per slot
+	die  []uint16 // packed wire.DieChar, three kinds per slot
+	loop []uint16 // packed wire.LoopToken, one per slot
+	dfs  []uint8  // wire.DFSToken.Out, one per slot
+}
+
+// resize re-targets the plane at `need` port slots, reusing capacity. Only
+// the mask plane is cleared on reuse: payload words are unreachable behind
+// a clear mask.
+func (pl *wirePlane) resize(need int) {
+	if cap(pl.mask) >= need {
+		pl.mask = pl.mask[:need]
+		clear(pl.mask)
+	} else {
+		pl.mask = make([]uint16, need)
+	}
+	if cap(pl.grow) >= 3*need {
+		pl.grow = pl.grow[:3*need]
+	} else {
+		pl.grow = make([]uint16, 3*need)
+	}
+	if cap(pl.die) >= 3*need {
+		pl.die = pl.die[:3*need]
+	} else {
+		pl.die = make([]uint16, 3*need)
+	}
+	if cap(pl.loop) >= need {
+		pl.loop = pl.loop[:need]
+	} else {
+		pl.loop = make([]uint16, need)
+	}
+	if cap(pl.dfs) >= need {
+		pl.dfs = pl.dfs[:need]
+	} else {
+		pl.dfs = make([]uint8, need)
+	}
+}
+
+// loadPort materialises port slot i into m: presence state from the mask
+// word, then only the occupied channels. Unoccupied channels of m keep
+// whatever they held — unreadable behind the mask, the same invariant
+// wire.Message.Blank establishes — so a blank slot just blanks m.
+func (pl *wirePlane) loadPort(i int, m *wire.Message) {
+	w := pl.mask[i]
+	if w == 0 {
+		m.Blank()
+		return
+	}
+	m.SetMaskWord(w)
+	for k := 0; k < 3; k++ {
+		if m.HasGrowKind(k) {
+			m.Grow[k] = wire.UnpackGrowChar(k, pl.grow[3*i+k])
+		}
+		if m.HasDieKind(k) {
+			m.Die[k] = wire.UnpackDieChar(k, pl.die[3*i+k])
+		}
+	}
+	if m.HasLoop() {
+		m.Loop = wire.UnpackLoopToken(pl.loop[i])
+	}
+	if m.HasDFS() {
+		m.DFS = wire.DFSToken{Out: pl.dfs[i]}
+	}
+}
+
+// load materialises node slots [base, base+delta) into dst. dirty reports
+// that dst may still carry masks from a previous node's load, so blank
+// slots must re-blank their scratch entry; with a clean scratch they cost
+// one mask load each.
+func (pl *wirePlane) load(base, delta int, dst []wire.Message, dirty bool) {
+	for p := 0; p < delta; p++ {
+		if pl.mask[base+p] == 0 {
+			if dirty {
+				dst[p].Blank()
+			}
+			continue
+		}
+		pl.loadPort(base+p, &dst[p])
+	}
+}
+
+// store packs the non-blank message m into port slot i: the mask word plus
+// only the occupied channels. Exactly one writer stores to any slot per
+// tick (one wire feeds each in-port), so no synchronisation is needed.
+func (pl *wirePlane) store(i int, m *wire.Message) {
+	pl.mask[i] = m.MaskWord()
+	for k := 0; k < 3; k++ {
+		if m.HasGrowKind(k) {
+			pl.grow[3*i+k] = wire.PackGrowChar(m.Grow[k])
+		}
+		if m.HasDieKind(k) {
+			pl.die[3*i+k] = wire.PackDieChar(m.Die[k])
+		}
+	}
+	if m.HasLoop() {
+		pl.loop[i] = wire.PackLoopToken(m.Loop)
+	}
+	if m.HasDFS() {
+		pl.dfs[i] = m.DFS.Out
+	}
+}
+
+// unrouted marks an unwired out-port in the packed routing table.
+const unrouted = ^uint32(0)
+
+// MaxNodes is the engine's node-count ceiling: the packed routing table
+// keeps the destination node in 24 bits (and the in-port in 8, bounded by
+// wire.MaxDelta anyway). ResetRooted panics beyond it; callers with
+// user-supplied graphs (core.Session) reject them with an error first.
+const MaxNodes = 1 << 24

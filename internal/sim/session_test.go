@@ -149,6 +149,123 @@ func TestResetAcrossSizes(t *testing.T) {
 	eng.Close()
 }
 
+// TestResetPlaneLifecycle pins the wire-plane recycling contract across
+// graph-size changes: growing N reallocates the planes (capacity rises to
+// the new footprint), shrinking N or changing δ within the allocated
+// footprint reuses them (capacity must NOT move), and a closed engine's
+// worker pool restarts transparently on the next parallel run. Progress
+// exposes the capacity (PlaneCap) precisely so this is assertable; the
+// transcripts are checked against fresh engines throughout, so reuse is
+// never traded against equivalence.
+func TestResetPlaneLifecycle(t *testing.T) {
+	var rec transcriptRecorder
+	run := func(eng *sim.Engine, g *graph.Graph) string {
+		t.Helper()
+		want := runTranscript(t, g, 4)
+		if got := rec.finish(t, eng); got != want {
+			t.Fatalf("N=%d δ=%d: reused transcript diverges from fresh", g.N(), g.Delta())
+		}
+		return want
+	}
+
+	g := graph.Ring(32) // 32 nodes × δ=2 = 64 port slots
+	eng := newRecordedEngine(g, 4, &rec)
+	run(eng, g)
+	cap0 := eng.Progress().PlaneCap
+	if cap0 < 64 {
+		t.Fatalf("ring32 plane capacity %d < 64 slots", cap0)
+	}
+
+	// Shrink N: planes must be reused, not reallocated.
+	eng.Reset(graph.Ring(8))
+	run(eng, graph.Ring(8))
+	if c := eng.Progress().PlaneCap; c != cap0 {
+		t.Fatalf("shrink N=32->8 moved plane capacity %d -> %d (want reuse)", cap0, c)
+	}
+
+	// Change δ within the footprint: hypercube(4) is 16 nodes × δ=4 = 64
+	// slots ≤ cap0, so capacity must again hold still.
+	eng.Reset(graph.Hypercube(4))
+	run(eng, graph.Hypercube(4))
+	if c := eng.Progress().PlaneCap; c != cap0 {
+		t.Fatalf("delta change 2->4 moved plane capacity %d -> %d (want reuse)", cap0, c)
+	}
+
+	// Grow past the footprint: planes must reallocate.
+	big := graph.Hypercube(6) // 64 × 6 = 384 slots
+	eng.Reset(big)
+	run(eng, big)
+	capBig := eng.Progress().PlaneCap
+	if capBig < 384 || capBig < cap0 {
+		t.Fatalf("grow to 384 slots left plane capacity at %d (was %d)", capBig, cap0)
+	}
+
+	// Close parks and releases the worker pool; the next parallel run on a
+	// different size must restart it and still match a fresh engine.
+	eng.Close()
+	eng.Reset(graph.Ring(40))
+	run(eng, graph.Ring(40))
+	eng.Close()
+}
+
+// TestEpochRebaseEquivalence forces the 32-bit epoch planes through many
+// wrap-rebase cycles inside short runs and demands transcripts
+// bit-identical to an engine that never rebases. The limit of 48 rebases
+// every 32 ticks — thousands of times over these runs — so any stamp whose
+// liveness the rebase miscomputes (frontier dedup, hold wake-ups, lastStep
+// replay ages) diverges immediately. Faulted runs ride along because drop
+// decisions hash the real tick counter, which must stay independent of the
+// rebased epoch.
+func TestEpochRebaseEquivalence(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Ring(48),
+		graph.Torus(4, 5),
+		graph.Hypercube(4),
+	}
+	for _, workers := range []int{1, 4} {
+		for _, g := range graphs {
+			want := runTranscript(t, g, workers)
+			var rec transcriptRecorder
+			eng := newRecordedEngine(g, workers, &rec)
+			eng.SetEpochLimitForTest(48)
+			if got := rec.finish(t, eng); got != want {
+				t.Errorf("N=%d δ=%d workers=%d: transcript diverges under forced epoch rebases",
+					g.N(), g.Delta(), workers)
+			}
+			// A reused engine keeps rebasing across runs.
+			eng.Reset(g)
+			if got := rec.finish(t, eng); got != want {
+				t.Errorf("N=%d δ=%d workers=%d: reused transcript diverges under forced epoch rebases",
+					g.N(), g.Delta(), workers)
+			}
+			eng.Close()
+		}
+	}
+	// Faulted window: drops keyed on the tick counter must be unaffected.
+	g := graph.Ring(256)
+	plan := &sim.FaultPlan{Seed: 7, DropRate: 0.002}
+	fingerprint := func(limited bool) string {
+		var rec transcriptRecorder
+		eng := sim.New(g, sim.Options{
+			MaxTicks:   1500,
+			Workers:    2,
+			Faults:     plan,
+			Transcript: rec.record,
+		}, gtd.NewFactory(gtd.DefaultConfig()))
+		if limited {
+			eng.SetEpochLimitForTest(48)
+		}
+		_, err := eng.Run()
+		if !errors.Is(err, sim.ErrMaxTicks) {
+			t.Fatalf("faulted window: want ErrMaxTicks, got %v", err)
+		}
+		return rec.b.String()
+	}
+	if fingerprint(false) != fingerprint(true) {
+		t.Error("faulted windowed transcript diverges under forced epoch rebases")
+	}
+}
+
 // TestResetAfterMaxTicksError checks that an engine whose run failed on the
 // tick budget is still cleanly reusable: stale in-flight symbols must not
 // leak into the next run, and the retained explicit budget must make the

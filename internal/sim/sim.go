@@ -71,16 +71,24 @@ import (
 
 // NodeInfo describes a processor's local, constant-size knowledge: whether it
 // is the root, the degree bound, and which of its ports are wired (in-port
-// and out-port awareness, §1.2.1). Index identifies the node for
-// instrumentation and debugging only — protocol logic must never branch on
-// it, since the paper's processors are anonymous.
+// and out-port awareness, §1.2.1), as per-direction bitmasks (ports are
+// bounded by wire.MaxDelta, so 32 bits suffice and the struct carries no
+// references). Index identifies the node for instrumentation and debugging
+// only — protocol logic must never branch on it, since the paper's
+// processors are anonymous.
 type NodeInfo struct {
-	Index    int
-	Root     bool
-	Delta    int
-	InWired  []bool // InWired[p-1] reports whether in-port p is wired
-	OutWired []bool // OutWired[p-1] reports whether out-port p is wired
+	Index int
+	Root  bool
+	Delta int
+	InW   uint32 // bit p-1 set ⇔ in-port p is wired
+	OutW  uint32 // bit p-1 set ⇔ out-port p is wired
 }
+
+// InWired reports whether in-port p (1-based) is wired.
+func (i NodeInfo) InWired(p int) bool { return i.InW&(1<<(p-1)) != 0 }
+
+// OutWired reports whether out-port p (1-based) is wired.
+func (i NodeInfo) OutWired(p int) bool { return i.OutW&(1<<(p-1)) != 0 }
 
 // Automaton is one finite-state communication processor.
 type Automaton interface {
@@ -355,6 +363,10 @@ type Progress struct {
 	Frontier int
 	Messages int64
 	Steps    int64
+	// PlaneCap is the allocated capacity (in port slots) of one wire-plane
+	// buffer side: the engine's resident-capacity gauge. It changes only
+	// when a Reset grows the planes, so tests assert buffer reuse with it.
+	PlaneCap int
 }
 
 // Progress returns a snapshot of the run in flight. It costs a few loads and
@@ -365,6 +377,7 @@ func (e *Engine) Progress() Progress {
 		Frontier: len(e.frontier),
 		Messages: e.stats.NonBlankMessages,
 		Steps:    e.stats.StepCalls,
+		PlaneCap: cap(e.cur.mask),
 	}
 }
 
@@ -383,21 +396,19 @@ type Engine struct {
 	delta        int
 	sparse       bool // frontier scheduling (== !opts.Naive)
 
-	// Routing tables: for node v, out-port p (0-based), route[v][p] gives
-	// the destination node and 0-based in-port, or node -1. Rows are
-	// views into routeFlat.
-	route     [][]graph.Endpoint
-	routeFlat []graph.Endpoint
+	// Routing table: for node v, out-port p (0-based), route[v·δ+p] packs
+	// the destination as node<<8 | in-port (0-based), or unrouted. One
+	// word per wire instead of a 16-byte Endpoint; the 24-bit node field
+	// caps the engine at 1<<24 nodes (enforced by ResetRooted).
+	route []uint32
 
-	// Wire planes: rows are views into msgFlat (three planes of n·δ).
-	in      [][]wire.Message // current tick inputs, [node][in-port]
-	nextIn  [][]wire.Message
-	outBuf  [][]wire.Message
-	msgFlat []wire.Message
-
-	// wiredFlat backs the NodeInfo.InWired/OutWired views handed to the
-	// automata (two planes of n·δ); rewritten in place on Reset.
-	wiredFlat []bool
+	// Wire state, double-buffered and packed (see wirePlane): cur holds
+	// the symbols delivered for the tick in flight, nxt accumulates
+	// deliveries for tick t+1; finishTick swaps them. wire.Message appears
+	// only at the Automaton boundary, materialised into per-shard scratch
+	// for the nodes actually stepped.
+	cur wirePlane
+	nxt wirePlane
 
 	// Epoch-stamped activity planes. A node's entry equals the current
 	// epoch exactly when the condition holds for the tick in flight, so
@@ -415,11 +426,20 @@ type Engine struct {
 	//
 	// nextHasStamp and enqStamp are written concurrently by workers via
 	// compare-and-swap; exactly one winner per (node, tick) does the
-	// bookkeeping.
-	hasStamp     []uint64
-	nextHasStamp []uint64
-	enqStamp     []uint64
-	epoch        uint64
+	// bookkeeping. The planes are 32-bit (half the resident footprint of
+	// the former uint64 stamps); a run longer than ~4·10⁹ ticks would wrap
+	// the epoch, so rebaseEpochs translates every plane down and restarts
+	// the epoch well before the limit (see epochLimit).
+	hasStamp     []uint32
+	nextHasStamp []uint32
+	enqStamp     []uint32
+	epoch        uint32
+	// epochLimit triggers the wrap-safe epoch rebase: when an epoch
+	// increment reaches it, every stamp plane is translated down so that
+	// relative distances (the only thing the stamp logic consumes) are
+	// preserved exactly. Set to defaultEpochLimit by New; tests lower it
+	// to exercise the rollover.
+	epochLimit uint32
 
 	// The double-buffered frontier: frontier lists the nodes to step this
 	// tick in ascending order; frontierNext accumulates next tick's
@@ -436,14 +456,17 @@ type Engine struct {
 	// no longer matches at promote time is stale (the node was stepped
 	// earlier, e.g. by a delivery) and is dropped. wheelLive counts live
 	// (non-stale) wakes: quiescence under sparse scheduling is an empty
-	// frontier AND an empty wheel. holders/lastStep cache the Holder
-	// interface per node and the epoch of each node's last step, so the
-	// skipped aging can be replayed in bulk via AdvanceHold.
-	wheel     [wheelSlots][]int32
-	wakeStamp []uint64
-	wheelLive int
-	holders   []Holder
-	lastStep  []uint64
+	// frontier AND an empty wheel. holderBits marks the nodes whose
+	// automaton implements Holder (one bit per node; the interface itself
+	// is re-asserted from procs at step time — a cached per-node interface
+	// value would cost 16 bytes/node); lastStep records the epoch of each
+	// node's last step, so the skipped aging can be replayed in bulk via
+	// AdvanceHold.
+	wheel      [wheelSlots][]int32
+	wakeStamp  []uint32
+	wheelLive  int
+	holderBits []uint64
+	lastStep   []uint32
 
 	// Resolved SchedAuto burst thresholds: enter a burst when the
 	// frontier is below seqEnter, leave it at seqExit (hysteresis).
@@ -497,11 +520,11 @@ type Engine struct {
 
 // shard is one worker's contiguous slice of the tick's work — frontier
 // indices under sparse scheduling, node indices in Naive mode — plus its
-// private tick tallies, next-frontier appends, and timing-wheel traffic
-// (wake records and stale-entry counts); all are merged in shard-index
-// order after the barrier, so nothing depends on goroutine scheduling. The
-// fields occupy 128 bytes on 64-bit targets (two cache lines), so adjacent
-// shards' hot counters never share a line.
+// private tick tallies, next-frontier appends, timing-wheel traffic
+// (wake records and stale-entry counts), and the wire.Message scratch the
+// packed planes are materialised into for each stepped node; all tallies
+// are merged in shard-index order after the barrier, so nothing depends
+// on goroutine scheduling.
 type shard struct {
 	lo, hi    int
 	stepCalls int64
@@ -513,6 +536,30 @@ type shard struct {
 	dropped   int64     // symbols lost to fault injection this tick
 	next      []int32   // frontier appends for tick t+1 (sparse mode)
 	wakes     []wakeRec // timing-wheel appends (sparse mode)
+
+	// in/out are the per-step Automaton boundary buffers (length δ),
+	// reused for every node this shard steps. out is kept blank between
+	// steps (re-blanked after each emission scan); in holds whatever the
+	// last materialisation wrote, tracked by inDirty so a node with no
+	// input pays no clearing cost when the scratch is already blank.
+	in      []wire.Message
+	out     []wire.Message
+	inDirty bool
+}
+
+// ensureScratch sizes the shard's Automaton-boundary scratch for degree
+// bound delta and restores the all-blank invariant.
+func (sh *shard) ensureScratch(delta int) {
+	if cap(sh.in) >= delta && cap(sh.out) >= delta {
+		sh.in = sh.in[:delta]
+		sh.out = sh.out[:delta]
+		clear(sh.in)
+		clear(sh.out)
+	} else {
+		sh.in = make([]wire.Message, delta)
+		sh.out = make([]wire.Message, delta)
+	}
+	sh.inDirty = false
 }
 
 // wakeRec is one deferred wake: schedule node v hold+1 ticks after the tick
@@ -545,7 +592,8 @@ type Resettable interface {
 // order, to construct its automaton. The graph is not modified and must not
 // change during the run. The factory is retained for Reset.
 func New(g *graph.Graph, opts Options, factory func(NodeInfo) Automaton) *Engine {
-	e := &Engine{opts: opts, factory: factory, autoMaxTicks: opts.MaxTicks <= 0}
+	e := &Engine{opts: opts, factory: factory, autoMaxTicks: opts.MaxTicks <= 0,
+		epochLimit: defaultEpochLimit}
 	e.ResetRooted(g, opts.Root)
 	return e
 }
@@ -564,6 +612,12 @@ func (e *Engine) Reset(g *graph.Graph) { e.ResetRooted(g, e.opts.Root) }
 func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 	n := g.N()
 	delta := g.Delta()
+	if n >= MaxNodes {
+		panic(fmt.Sprintf("sim: %d nodes exceeds the engine limit (%d)", n, MaxNodes))
+	}
+	if delta > wire.MaxDelta {
+		panic(fmt.Sprintf("sim: degree bound %d exceeds wire.MaxDelta (%d)", delta, wire.MaxDelta))
+	}
 	e.g = g
 	e.delta = delta
 	e.sparse = !e.opts.Naive
@@ -578,29 +632,29 @@ func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 
 	for v := 0; v < n; v++ {
 		info := NodeInfo{
-			Index:    v,
-			Root:     v == root,
-			Delta:    delta,
-			InWired:  e.wiredFlat[(2*v)*delta : (2*v+1)*delta],
-			OutWired: e.wiredFlat[(2*v+1)*delta : (2*v+2)*delta],
+			Index: v,
+			Root:  v == root,
+			Delta: delta,
 		}
 		for p := 1; p <= delta; p++ {
 			if ep, ok := g.OutEndpoint(v, p); ok {
-				info.OutWired[p-1] = true
-				e.route[v][p-1] = graph.Endpoint{Node: ep.Node, Port: ep.Port - 1}
+				info.OutW |= 1 << (p - 1)
+				e.route[v*delta+p-1] = uint32(ep.Node)<<8 | uint32(ep.Port-1)
 			} else {
-				info.OutWired[p-1] = false
-				e.route[v][p-1] = graph.Endpoint{Node: -1, Port: -1}
+				e.route[v*delta+p-1] = unrouted
 			}
-			_, ok := g.InEndpoint(v, p)
-			info.InWired[p-1] = ok
+			if _, ok := g.InEndpoint(v, p); ok {
+				info.InW |= 1 << (p - 1)
+			}
 		}
 		if r, ok := e.procs[v].(Resettable); ok {
 			r.Reset(info)
 		} else {
 			e.procs[v] = e.factory(info)
 		}
-		e.holders[v], _ = e.procs[v].(Holder)
+		if _, ok := e.procs[v].(Holder); ok {
+			e.holderBits[v>>6] |= 1 << (uint(v) & 63)
+		}
 	}
 	e.rootTerm, _ = e.procs[root].(Terminator)
 
@@ -623,37 +677,13 @@ func (e *Engine) ResetRooted(g *graph.Graph, root int) {
 func (e *Engine) resizeBuffers(n, delta int) {
 	need := n * delta
 
-	if cap(e.msgFlat) >= 3*need {
-		e.msgFlat = e.msgFlat[:3*need]
-		clear(e.msgFlat)
-	} else {
-		e.msgFlat = make([]wire.Message, 3*need)
-	}
-	if cap(e.routeFlat) >= need {
-		e.routeFlat = e.routeFlat[:need]
-	} else {
-		e.routeFlat = make([]graph.Endpoint, need)
-	}
-	if cap(e.wiredFlat) >= 2*need {
-		e.wiredFlat = e.wiredFlat[:2*need]
-	} else {
-		e.wiredFlat = make([]bool, 2*need)
-	}
+	e.cur.resize(need)
+	e.nxt.resize(need)
 
-	e.in = resliceRows(e.in, n)
-	e.nextIn = resliceRows(e.nextIn, n)
-	e.outBuf = resliceRows(e.outBuf, n)
-	if cap(e.route) >= n {
-		e.route = e.route[:n]
+	if cap(e.route) >= need {
+		e.route = e.route[:need]
 	} else {
-		e.route = make([][]graph.Endpoint, n)
-	}
-	for v := 0; v < n; v++ {
-		lo := v * delta
-		e.in[v] = e.msgFlat[lo : lo+delta : lo+delta]
-		e.nextIn[v] = e.msgFlat[need+lo : need+lo+delta : need+lo+delta]
-		e.outBuf[v] = e.msgFlat[2*need+lo : 2*need+lo+delta : 2*need+lo+delta]
-		e.route[v] = e.routeFlat[lo : lo+delta : lo+delta]
+		e.route = make([]uint32, need)
 	}
 
 	// Epoch stamps must be zeroed on reuse: the epoch counter restarts at
@@ -665,10 +695,12 @@ func (e *Engine) resizeBuffers(n, delta int) {
 	e.wakeStamp = resetStamps(e.wakeStamp, n)
 	e.lastStep = resetStamps(e.lastStep, n)
 
-	if cap(e.holders) >= n {
-		e.holders = e.holders[:n]
+	words := (n + 63) / 64
+	if cap(e.holderBits) >= words {
+		e.holderBits = e.holderBits[:words]
+		clear(e.holderBits)
 	} else {
-		e.holders = make([]Holder, n)
+		e.holderBits = make([]uint64, words)
 	}
 
 	// Keep automata from shrunken runs in the slice's spare capacity so a
@@ -682,22 +714,14 @@ func (e *Engine) resizeBuffers(n, delta int) {
 	}
 }
 
-// resliceRows reuses a row-header slice when its capacity suffices.
-func resliceRows(rows [][]wire.Message, n int) [][]wire.Message {
-	if cap(rows) >= n {
-		return rows[:n]
-	}
-	return make([][]wire.Message, n)
-}
-
 // resetStamps returns a zeroed stamp plane of length n, reusing capacity.
-func resetStamps(s []uint64, n int) []uint64 {
+func resetStamps(s []uint32, n int) []uint32 {
 	if cap(s) >= n {
 		s = s[:n]
 		clear(s)
 		return s
 	}
-	return make([]uint64, n)
+	return make([]uint32, n)
 }
 
 // resetWorkers re-resolves the worker count and shard layout for n nodes. A
@@ -706,7 +730,8 @@ func resetStamps(s []uint64, n int) []uint64 {
 // layout change stops the pool, which restarts lazily at the next parallel
 // tick.
 func (e *Engine) resetWorkers(n int) {
-	e.seqSh = shard{next: e.seqSh.next[:0]}
+	e.seqSh = shard{next: e.seqSh.next[:0], in: e.seqSh.in, out: e.seqSh.out}
+	e.seqSh.ensureScratch(e.delta)
 	w := e.opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -757,7 +782,9 @@ func (e *Engine) resetWorkers(n int) {
 		if hi > n {
 			hi = n
 		}
-		e.shards[i] = shard{lo: lo, hi: hi, next: e.shards[i].next[:0]}
+		e.shards[i] = shard{lo: lo, hi: hi, next: e.shards[i].next[:0],
+			wakes: e.shards[i].wakes[:0], in: e.shards[i].in, out: e.shards[i].out}
+		e.shards[i].ensureScratch(e.delta)
 	}
 }
 
@@ -801,9 +828,14 @@ func (e *Engine) Tick() int { return e.tick }
 func (e *Engine) Automaton(v int) Automaton { return e.procs[v] }
 
 // PendingIn returns the symbol that node v will read on in-port p (1-based)
-// at the next tick: the message currently in flight on that wire. Observers
-// use it to inspect traffic; the protocol never does.
-func (e *Engine) PendingIn(v, p int) wire.Message { return e.in[v][p-1] }
+// at the next tick: the message currently in flight on that wire,
+// materialised from the packed planes. Observers use it to inspect
+// traffic; the protocol never does.
+func (e *Engine) PendingIn(v, p int) wire.Message {
+	var m wire.Message
+	e.cur.loadPort(v*e.delta+p-1, &m)
+	return m
+}
 
 // Stats returns run statistics gathered so far.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -880,10 +912,10 @@ func (e *Engine) rootTerminated() bool {
 // (node, tick). par selects the compare-and-swap path: several workers may
 // race the claim, and the single CAS winner does the bookkeeping — the
 // invariant every frontier and live-count guarantee rests on.
-func claimStamp(plane []uint64, v int, next uint64, par bool) bool {
+func claimStamp(plane []uint32, v int, next uint32, par bool) bool {
 	if par {
-		cur := atomic.LoadUint64(&plane[v])
-		return cur != next && atomic.CompareAndSwapUint64(&plane[v], cur, next)
+		cur := atomic.LoadUint32(&plane[v])
+		return cur != next && atomic.CompareAndSwapUint32(&plane[v], cur, next)
 	}
 	if plane[v] != next {
 		plane[v] = next
@@ -912,27 +944,29 @@ func (e *Engine) enqueueNext(dst int, sh *shard, par bool) {
 	}
 }
 
-// stepNode executes one processor's pulse: Step, emission routing and
-// delivery bookkeeping, root transcript capture, and consumed-buffer
-// clearing. All reads come from the tick-t buffers (e.in, e.hasStamp) and
-// all wire writes target the tick-t+1 buffers (e.nextIn, e.nextHasStamp),
-// so distinct nodes are independent and may run concurrently. Under sparse
-// scheduling the node re-enqueues itself while it remains busy — the half
-// of the frontier invariant that covers busy-without-input processors
-// (e.g. relays holding a speed-1 character).
+// stepNode executes one processor's pulse: input materialisation, Step,
+// emission routing and delivery bookkeeping, root transcript capture, and
+// consumed-plane clearing. All reads come from the tick-t planes (e.cur,
+// e.hasStamp) and all wire writes target the tick-t+1 planes (e.nxt,
+// e.nextHasStamp), so distinct nodes are independent and may run
+// concurrently. The Automaton boundary stays []wire.Message: the node's
+// in-ports are unpacked into the shard's reused scratch (only for stepped
+// nodes — skipped nodes never materialise anything), and its emissions are
+// packed back mask-gated. Under sparse scheduling the node re-enqueues
+// itself while it remains busy — the half of the frontier invariant that
+// covers busy-without-input processors (e.g. relays holding a speed-1
+// character).
 func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 	delta := e.delta
-	in := e.in[v]
-	out := e.outBuf[v]
+	base := v * delta
 	if e.crashed(v) {
 		// Fail-stop: the dead node neither steps nor emits, and symbols
-		// delivered to it are swallowed (blanked so the reused input plane
-		// stays clean). Any pending timing-wheel wake is voided — the node
-		// will never re-park, so this happens at most once per node.
+		// delivered to it are swallowed (the mask plane is cleared; the
+		// payloads behind it become unreachable). Any pending timing-wheel
+		// wake is voided — the node will never re-park, so this happens at
+		// most once per node.
 		if hasIn {
-			for p := 0; p < delta; p++ {
-				in[p].Blank()
-			}
+			clear(e.cur.mask[base : base+delta])
 		}
 		if e.sparse && e.wakeStamp[v] != 0 {
 			e.wakeStamp[v] = 0
@@ -940,14 +974,21 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 		}
 		return
 	}
+	in, out := sh.in, sh.out
+	if hasIn || sh.inDirty {
+		e.cur.load(base, delta, in, sh.inDirty)
+		sh.inDirty = hasIn
+	}
 	var hld Holder
 	if e.sparse {
 		// Timing-wheel catch-up: a pending wake becomes stale the moment
 		// the node is stepped (an earlier delivery beat the timer), and
 		// aging skipped while the node was parked is replayed in bulk.
 		// wakeStamp/lastStep are written only by the worker that owns
-		// this node's step, so no synchronisation is needed.
-		if hld = e.holders[v]; hld != nil {
+		// this node's step, so no synchronisation is needed. The Holder
+		// re-assertion is an itab-cache hit; only marked nodes pay it.
+		if e.holderBits[v>>6]&(1<<(uint(v)&63)) != 0 {
+			hld = e.procs[v].(Holder)
 			if e.wakeStamp[v] != 0 {
 				e.wakeStamp[v] = 0
 				sh.unwoke++
@@ -971,8 +1012,8 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 				panic(fmt.Sprintf("sim: node %d tick %d out-port %d: %v", v, e.tick, p+1, err))
 			}
 		}
-		dst := e.route[v][p]
-		if dst.Node < 0 {
+		dst := e.route[base+p]
+		if dst == unrouted {
 			panic(fmt.Sprintf("sim: node %d tick %d wrote to unwired out-port %d", v, e.tick, p+1))
 		}
 		if e.dropBar != 0 && e.dropped(v, p) {
@@ -982,8 +1023,9 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 			sh.dropped++
 			continue
 		}
-		e.nextIn[dst.Node][dst.Port] = out[p]
-		e.markDelivery(dst.Node, sh, par)
+		dstNode := int(dst >> 8)
+		e.nxt.store(dstNode*delta+int(dst&0xff), &out[p])
+		e.markDelivery(dstNode, sh, par)
 		sh.nonBlank++
 	}
 	if v == e.opts.Root && e.opts.Transcript != nil {
@@ -997,15 +1039,12 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 			e.rootIn, e.rootOut = e.rootInBuf, e.rootOutBuf
 		}
 	}
-	// Clear the consumed inputs and reset the out buffer; both are
-	// private to this node. Blanking resets only the presence mask and
-	// KILL flag — stale channel payloads are unreadable behind a clear
-	// mask, and every consumer (including the transcript fingerprints)
-	// goes through the mask accessors.
+	// Clear the consumed input slots and re-blank the out scratch.
+	// Clearing is mask-only — stale channel payloads are unreadable
+	// behind a clear mask, and every consumer (including the transcript
+	// fingerprints) goes through the mask accessors.
 	if hasIn {
-		for p := 0; p < delta; p++ {
-			in[p].Blank()
-		}
+		clear(e.cur.mask[base : base+delta])
 	}
 	if nonBlankOut {
 		for p := 0; p < delta; p++ {
@@ -1040,7 +1079,7 @@ func (e *Engine) stepNode(v int, hasIn bool, sh *shard, par bool) {
 // tick the slot append and live-count update are deferred to the post-
 // barrier merge (shard-ordered), the sequential path applies them directly.
 func (e *Engine) scheduleWake(v, h int, sh *shard, par bool) {
-	e.wakeStamp[v] = e.epoch + 1 + uint64(h)
+	e.wakeStamp[v] = e.epoch + 1 + uint32(h)
 	if par {
 		sh.wakes = append(sh.wakes, wakeRec{v: int32(v), hold: int8(h)})
 		return
@@ -1268,6 +1307,39 @@ func (e *Engine) dispatchParallel() bool {
 	return work >= e.parMin
 }
 
+// epochBase is the epoch value rebaseEpochs restarts at. It exceeds the
+// largest backward distance the stamp logic ever consults — lastStep is
+// read up to MaxHold+1 epochs back (a parked holder's maximum skip) — so
+// every live relative distance survives the translation exactly.
+const epochBase = MaxHold + 2
+
+// defaultEpochLimit leaves headroom below the uint32 ceiling for the
+// forward stamps a tick writes (epoch+1+MaxHold at most).
+const defaultEpochLimit = ^uint32(0) - 2*epochBase
+
+// rebaseEpochs translates every stamp plane down so the epoch restarts at
+// epochBase, making the 32-bit epoch wrap-safe for unbounded runs. Called
+// immediately after an epoch increment that reached epochLimit, before the
+// frontier promotion that matches wake stamps against the new epoch. Every
+// consumer of the planes compares stamps for equality against epoch-derived
+// values or reads differences no older than epochBase, and all live stamps
+// lie in [epoch−epochBase, epoch+MaxHold], so shifting the live window and
+// flooring everything older to 0 (the never-stamped value, which no future
+// epoch can equal again) preserves each comparison bit for bit.
+func (e *Engine) rebaseEpochs() {
+	shift := e.epoch - epochBase
+	for _, plane := range [][]uint32{e.hasStamp, e.nextHasStamp, e.enqStamp, e.wakeStamp, e.lastStep} {
+		for i, s := range plane {
+			if s > shift {
+				plane[i] = s - shift
+			} else {
+				plane[i] = 0
+			}
+		}
+	}
+	e.epoch = epochBase
+}
+
 // promoteFrontier installs the frontier for the tick the engine has just
 // advanced to: the deliveries and hold-0 re-enqueues accumulated last tick,
 // merged with the timing-wheel slot now due. Stale wheel entries (their
@@ -1312,9 +1384,12 @@ func (e *Engine) finishTick(anyActive bool, lives int) (bool, error) {
 	if lives > e.stats.MaxActive {
 		e.stats.MaxActive = lives
 	}
-	e.in, e.nextIn = e.nextIn, e.in
+	e.cur, e.nxt = e.nxt, e.cur
 	e.hasStamp, e.nextHasStamp = e.nextHasStamp, e.hasStamp
 	e.epoch++
+	if e.epoch >= e.epochLimit {
+		e.rebaseEpochs()
+	}
 	e.tick++
 	e.stats.Ticks = e.tick
 	if e.sparse {
@@ -1401,6 +1476,9 @@ func (e *Engine) RunOne() (bool, error) {
 // still promoted, so the tick is indistinguishable from a dispatched one.
 func (e *Engine) advanceIdleTick() {
 	e.epoch++
+	if e.epoch >= e.epochLimit {
+		e.rebaseEpochs()
+	}
 	e.tick++
 	e.stats.Ticks = e.tick
 	e.stats.SeqTicks++

@@ -39,7 +39,7 @@ func (p *pulseNode) Step(in, out []wire.Message) {
 		p.kick, p.forward = false, false
 		p.forwarded = true
 		for port := 1; port <= p.info.Delta; port++ {
-			if p.info.OutWired[port-1] {
+			if p.info.OutWired(port) {
 				out[port-1].Kill = true
 			}
 		}
@@ -85,14 +85,14 @@ func TestEnginePortAwareness(t *testing.T) {
 		infos = append(infos, info)
 		return &pulseNode{info: info}
 	})
-	if !infos[0].OutWired[1] || infos[0].OutWired[0] || infos[0].OutWired[2] {
-		t.Fatalf("node 0 out-awareness wrong: %v", infos[0].OutWired)
+	if !infos[0].OutWired(2) || infos[0].OutWired(1) || infos[0].OutWired(3) {
+		t.Fatalf("node 0 out-awareness wrong: %b", infos[0].OutW)
 	}
-	if !infos[0].InWired[0] || infos[0].InWired[1] {
-		t.Fatalf("node 0 in-awareness wrong: %v", infos[0].InWired)
+	if !infos[0].InWired(1) || infos[0].InWired(2) {
+		t.Fatalf("node 0 in-awareness wrong: %b", infos[0].InW)
 	}
-	if !infos[1].InWired[2] || infos[1].InWired[0] {
-		t.Fatalf("node 1 in-awareness wrong: %v", infos[1].InWired)
+	if !infos[1].InWired(3) || infos[1].InWired(1) {
+		t.Fatalf("node 1 in-awareness wrong: %b", infos[1].InW)
 	}
 }
 

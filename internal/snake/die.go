@@ -20,8 +20,6 @@ type HeadEaten struct {
 // character through unchanged; the tail passes through as-is and the relay
 // returns to idle, leaving the recorded marks to its owner.
 type DieRelay struct {
-	delay int
-
 	state   dieState
 	succ    uint8
 	pred    uint8
@@ -39,7 +37,7 @@ const (
 
 // NewDieRelay returns a relay with the given pipeline hold.
 func NewDieRelay(delay int) DieRelay {
-	return DieRelay{delay: delay, pipe: NewPipeline(delay)}
+	return DieRelay{pipe: NewPipeline(delay)}
 }
 
 // Busy reports whether the relay still holds characters to forward.
@@ -125,8 +123,6 @@ func (r *DieRelay) Emit() (Char, uint8, bool) {
 // The first forwarded character is promoted to the head of the new snake; a
 // tail is forwarded as-is and completes the conversion.
 type DieConverter struct {
-	delay int
-
 	succ    uint8
 	promote bool
 	done    bool
@@ -155,7 +151,6 @@ func NewDieConverter(delay int, succ uint8, flagMode bool, payload wire.Payload)
 // protocol's hot path allocation-free across reused runs.
 func (c *DieConverter) Arm(delay int, succ uint8, flagMode bool, payload wire.Payload) {
 	*c = DieConverter{
-		delay:    delay,
 		succ:     succ,
 		promote:  true,
 		flagMode: flagMode,

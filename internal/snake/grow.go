@@ -25,7 +25,10 @@ type GrowOut struct {
 // caller, implements the root's IG→OG conversion (RCA step 2): the paper's
 // conversion rules are exactly the relay rules with the alphabet changed.
 type GrowRelay struct {
-	delay int
+	// pipe leads so the three flag bytes pad its 2-byte alignment
+	// instead of widening the struct (relays are the bulk of every
+	// arena-allocated processor).
+	pipe Pipeline
 
 	Visited  bool
 	ParentIn uint8 // 1-based; valid when Visited
@@ -34,14 +37,13 @@ type GrowRelay struct {
 	// own flood cannot re-enter it.
 	Deaf bool
 
-	pipe        Pipeline
 	tailPending bool
 }
 
 // NewGrowRelay returns a relay with the given pipeline hold (normally
 // Speed1Delay; configurable for the speed-ablation experiments).
 func NewGrowRelay(delay int) GrowRelay {
-	return GrowRelay{delay: delay, pipe: NewPipeline(delay)}
+	return GrowRelay{pipe: NewPipeline(delay)}
 }
 
 // Busy reports whether the relay still holds characters to forward.
@@ -143,7 +145,7 @@ func (r *GrowRelay) Emit() GrowOut {
 // the tail through each out-port (§2.3.2). The zero value is ready to use
 // after Start.
 type Initiator struct {
-	phase int // 0 idle, 1 emit head, 2 emit tail
+	phase uint8 // 0 idle, 1 emit head, 2 emit tail
 }
 
 // Start arms the initiator; the next two Emit calls produce the baby snake.

@@ -65,7 +65,7 @@ func (c Char) String() string {
 // so steady-state occupancy is at most Speed1Delay+2; the cap leaves slack
 // for the tail-insertion stall. Exceeding it indicates a protocol bug, not a
 // data-dependent condition, so the pipeline panics.
-const pipeCap = 8
+const pipeCap = 6
 
 // Speed1Delay is the extra hold (in ticks beyond the wire transit) of a
 // speed-1 construct: arrive at tick t, leave with the outputs of tick t+2,
@@ -76,22 +76,58 @@ const Speed1Delay = 2
 // leave with the outputs of tick t — one tick per hop.
 const Speed3Delay = 0
 
-type pipeItem struct {
-	c Char
-	// at is the pipeline clock reading when the character arrived; its
-	// residence time is clock-at, so aging the whole queue is a single
-	// clock increment.
-	at int32
+// MaxDelay is the largest pipeline hold NewPipeline accepts (ablation
+// headroom above the paper's speed-1 delay, bounded by the packed pipeline
+// capacity).
+const MaxDelay = pipeCap - 2
+
+// Packed-character field layout, mirroring the wire plane encoding: ports
+// need 5 bits under wire.MaxDelta, Part 2 bits, Payload 2 bits, Flag 1 — a
+// whole snake character in one uint16.
+const (
+	charOutShift  = 5
+	charPartShift = 10
+	charFlagBit   = 1 << 12
+	charPayShift  = 13
+	charPortMask  = 0x1f
+	charPartMask  = 0x3
+)
+
+func packChar(c Char) uint16 {
+	w := uint16(c.In) | uint16(c.Out)<<charOutShift |
+		uint16(c.Part)<<charPartShift | uint16(c.Payload)<<charPayShift
+	if c.Flag {
+		w |= charFlagBit
+	}
+	return w
+}
+
+func unpackChar(w uint16) Char {
+	return Char{
+		Part:    wire.Part(w >> charPartShift & charPartMask),
+		Out:     uint8(w >> charOutShift & charPortMask),
+		In:      uint8(w & charPortMask),
+		Flag:    w&charFlagBit != 0,
+		Payload: wire.Payload(w >> charPayShift & charPartMask),
+	}
 }
 
 // Pipeline is the bounded constant-delay FIFO through which snake characters
 // stream across a processor. Call Age once per tick before Push/Pop.
+//
+// Characters are stored packed (one uint16 each) with a parallel byte of
+// arrival clocks, and the clock itself is one byte: a character's residence
+// time (clock−at, computed modulo 256) is bounded by delay+pipeCap ≪ 256, so
+// the modular difference is always exact even though the clock wraps freely
+// during a long busy stretch. AgeN rebases the clock to zero whenever the
+// pipeline is empty, so arbitrarily large dormant-tick replays are no-ops.
 type Pipeline struct {
-	delay int8
-	head  int8
-	n     int8
-	clock int32
-	buf   [pipeCap]pipeItem
+	chars [pipeCap]uint16
+	ats   [pipeCap]uint8
+	delay uint8
+	head  uint8
+	n     uint8
+	clock uint8
 }
 
 // NewPipeline returns a pipeline with the given extra hold in ticks
@@ -100,35 +136,44 @@ func NewPipeline(delay int) Pipeline {
 	if delay < 0 || delay > pipeCap-2 {
 		panic("snake: pipeline delay out of range")
 	}
-	return Pipeline{delay: int8(delay)}
+	return Pipeline{delay: uint8(delay)}
 }
 
 // Age advances the residence time of every queued character by one tick.
-// O(1): only the clock moves. The clock rebases to zero whenever the
-// pipeline drains (see Pop/Clear), so it never overflows — a single
-// occupancy stretch is bounded by the snake passage length.
+// O(1): only the clock moves.
 func (p *Pipeline) Age() { p.clock++ }
 
 // AgeN advances every queued character's residence time by n ticks at once:
 // the bulk equivalent of n successive Age calls, used to replay ticks the
-// scheduler skipped while the owning processor was provably dormant.
-func (p *Pipeline) AgeN(n int) { p.clock += int32(n) }
+// scheduler skipped while the owning processor was provably dormant. A
+// non-empty pipeline is replayed at most a scheduler hold (≪ 256 ticks —
+// the engine wakes busy holders within MaxHold), so the byte clock cannot
+// wrap past a resident character; when empty the clock simply rebases.
+func (p *Pipeline) AgeN(n int) {
+	if p.n == 0 {
+		p.clock = 0
+		return
+	}
+	p.clock += uint8(n)
+}
 
 // Push enqueues a character that arrived this tick.
 func (p *Pipeline) Push(c Char) {
 	if p.n == pipeCap {
 		panic("snake: pipeline overflow — protocol bug")
 	}
-	p.buf[(p.head+p.n)%pipeCap] = pipeItem{c: c, at: p.clock}
+	i := (p.head + p.n) % pipeCap
+	p.chars[i] = packChar(c)
+	p.ats[i] = p.clock
 	p.n++
 }
 
 // Pop removes and returns the front character if it has completed its hold.
 func (p *Pipeline) Pop() (Char, bool) {
-	if p.n == 0 || p.clock-p.buf[p.head].at < int32(p.delay) {
+	if p.n == 0 || p.clock-p.ats[p.head] < p.delay {
 		return Char{}, false
 	}
-	c := p.buf[p.head].c
+	c := unpackChar(p.chars[p.head])
 	p.head = (p.head + 1) % pipeCap
 	p.n--
 	if p.n == 0 {
@@ -146,7 +191,7 @@ func (p *Pipeline) Hold() int {
 	if p.n == 0 {
 		return -1
 	}
-	h := int(p.delay) - int(p.clock-p.buf[p.head].at) - 1
+	h := int(p.delay) - int(p.clock-p.ats[p.head]) - 1
 	if h < 0 {
 		return 0
 	}

@@ -89,7 +89,7 @@ func TestPipelineFIFOProperty(t *testing.T) {
 		for tick := 0; tick < len(pattern)+16; tick++ {
 			p.Age()
 			if tick < len(pattern) && pattern[tick] {
-				p.Push(Char{Out: uint8(id%200 + 1)})
+				p.Push(Char{Out: uint8(id%31 + 1)})
 				pushed = append(pushed, stamped{id, tick})
 				id++
 			}
@@ -102,7 +102,7 @@ func TestPipelineFIFOProperty(t *testing.T) {
 			return false
 		}
 		for i := range pushed {
-			if popped[i].id%200 != pushed[i].id%200 {
+			if popped[i].id%31 != pushed[i].id%31 {
 				return false
 			}
 			if popped[i].tick < pushed[i].tick+Speed1Delay {

@@ -1,0 +1,35 @@
+package wire
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The engine's packed planes budget memory per port slot from these exact
+// sizes (DESIGN.md "memory model"); growing any of them silently inflates
+// every buffered wire in the network. A deliberate format change updates
+// the constants here, the plane accounting in internal/sim, and the
+// DESIGN.md table together.
+func TestWireTypeSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		got  uintptr
+		want uintptr
+	}{
+		{"Message", unsafe.Sizeof(Message{}), 38},
+		{"GrowChar", unsafe.Sizeof(GrowChar{}), 4},
+		{"DieChar", unsafe.Sizeof(DieChar{}), 6},
+		{"LoopToken", unsafe.Sizeof(LoopToken{}), 3},
+		{"DFSToken", unsafe.Sizeof(DFSToken{}), 1},
+		{"mask word", unsafe.Sizeof((&Message{}).MaskWord()), 2},
+		{"packed GrowChar", unsafe.Sizeof(PackGrowChar(GrowChar{})), 2},
+		{"packed DieChar", unsafe.Sizeof(PackDieChar(DieChar{})), 2},
+		{"packed LoopToken", unsafe.Sizeof(PackLoopToken(LoopToken{})), 2},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("sizeof(%s) = %d, want %d (plane accounting and DESIGN.md must change with it)",
+				c.name, c.got, c.want)
+		}
+	}
+}
