@@ -48,6 +48,7 @@ func BenchmarkE15Adaptive(b *testing.B)        { benchExperiment(b, "e15") }
 func BenchmarkE16Serve(b *testing.B)           { benchExperiment(b, "e16") }
 func BenchmarkE17Hostile(b *testing.B)         { benchExperiment(b, "e17") }
 func BenchmarkE18Scale(b *testing.B)           { benchExperiment(b, "e18") }
+func BenchmarkE19CachedServe(b *testing.B)     { benchExperiment(b, "e19") }
 
 // Session-reuse benchmarks: the fresh/reused pair quantifies the session
 // refactor's allocation claim (run with -benchmem; the reused steady state

@@ -6,6 +6,7 @@
 //
 //	topomapd [-addr host:port] [-pool n] [-queue n] [-block]
 //	         [-workers n] [-deadline d] [-maxnodes n] [-every n]
+//	         [-cache-bytes n]
 //
 // Endpoints:
 //
@@ -14,7 +15,8 @@
 //	               parameters: root (default 0), deadline (Go duration),
 //	               stream=sse|ndjson (progress streaming; default is one
 //	               JSON result), every (ticks between progress events),
-//	               graph=0 (omit the reconstruction text from the result).
+//	               graph=0 (omit the reconstruction text from the result),
+//	               nocache=1 (bypass the result cache for this request).
 //	GET|POST /map  ?family=ring&n=64&seed=1 — generator shorthand: build a
 //	               member of a built-in family instead of posting a body.
 //	               Families: ring, biring, line, torus, kautz, debruijn,
@@ -22,8 +24,17 @@
 //	               (Barabási–Albert), astier (AS/BGP tiers), chordal
 //	               (chordal k-ring).
 //	GET /stats     Pool statistics (queue depth, warm-hit rate, runs
-//	               served, allocs/run, latency means) as JSON.
+//	               served, allocs/run, cache counters, latency means) as
+//	               JSON.
+//	GET /metrics   The same statistics in the Prometheus text exposition
+//	               format.
 //	GET /healthz   Liveness probe.
+//
+// With -cache-bytes > 0 the daemon serves repeat requests from a
+// content-addressed result cache: isomorphic (graph, root) pairs are
+// answered from memory without an engine run, and concurrent identical
+// requests collapse onto one run. Every /map response carries an
+// X-Topomap-Cache header (hit, miss, or shared) when the cache is on.
 //
 // The daemon applies backpressure explicitly: when the job queue is full,
 // /map answers 503 (with Retry-After) rather than queueing unboundedly —
@@ -76,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		deadline = fs.Duration("deadline", 2*time.Minute, "default per-job deadline, queue wait included (0 = none)")
 		maxNodes = fs.Int("maxnodes", 1<<16, "reject posted graphs larger than this")
 		every    = fs.Int("every", 0, "default ticks between progress events (0 = service default)")
+		cacheBy  = fs.Int64("cache-bytes", 0, "content-addressed result cache capacity in bytes (0 = off)")
 		drainFor = fs.Duration("drain", 30*time.Second, "shutdown budget for serving accepted jobs")
 		dropRt   = fs.Float64("droprate", 0, "chaos testing: inject deterministic message loss at this rate into every run")
 		faultSd  = fs.Int64("faultseed", 1, "chaos testing: seed of the message-loss hash")
@@ -89,15 +101,16 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	}
 
 	srv := newServer(serverConfig{
-		Pool:     *pool,
-		Queue:    *queue,
-		Block:    *block,
-		Workers:  *workers,
-		Deadline: *deadline,
-		MaxNodes: *maxNodes,
-		Every:    *every,
-		DropRate: *dropRt,
-		FaultSd:  *faultSd,
+		Pool:       *pool,
+		Queue:      *queue,
+		Block:      *block,
+		Workers:    *workers,
+		Deadline:   *deadline,
+		MaxNodes:   *maxNodes,
+		Every:      *every,
+		DropRate:   *dropRt,
+		FaultSd:    *faultSd,
+		CacheBytes: *cacheBy,
 	})
 	defer srv.svc.Close()
 
@@ -149,15 +162,16 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 const maxBodyBytes = 64 << 20
 
 type serverConfig struct {
-	Pool     int
-	Queue    int
-	Block    bool
-	Workers  int
-	Deadline time.Duration
-	MaxNodes int
-	Every    int
-	DropRate float64
-	FaultSd  int64
+	Pool       int
+	Queue      int
+	Block      bool
+	Workers    int
+	Deadline   time.Duration
+	MaxNodes   int
+	Every      int
+	DropRate   float64
+	FaultSd    int64
+	CacheBytes int64
 }
 
 // server is the daemon's HTTP surface over one topomap.Service.
@@ -182,6 +196,7 @@ func newServer(cfg serverConfig) *server {
 			Block:           cfg.Block,
 			DefaultDeadline: cfg.Deadline,
 			ProgressEvery:   cfg.Every,
+			CacheBytes:      cfg.CacheBytes,
 		}),
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
@@ -189,6 +204,7 @@ func newServer(cfg serverConfig) *server {
 	}
 	s.mux.HandleFunc("/map", s.handleMap)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -272,6 +288,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 		jobOpts.ProgressEvery = n
 	}
+	jobOpts.NoCache = q.Get("nocache") == "1"
 	withGraph := q.Get("graph") != "0"
 
 	switch q.Get("stream") {
@@ -338,12 +355,21 @@ func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Gr
 		submitError(w, err)
 		return
 	}
+	setCacheHeader(w, j)
 	res, err := j.Await(r.Context())
 	if err != nil {
 		runError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.result(g, root, res, start, withGraph))
+}
+
+// setCacheHeader stamps the response with how the job met the result cache;
+// no header when the cache is off or bypassed.
+func setCacheHeader(w http.ResponseWriter, j *topomap.Job) {
+	if state := j.CacheState().String(); state != "" {
+		w.Header().Set("X-Topomap-Cache", state)
+	}
 }
 
 // streamMode selects the progress-stream encoding.
@@ -377,6 +403,7 @@ func (s *server) serveStream(w http.ResponseWriter, r *http.Request, g *topomap.
 		submitError(w, err)
 		return
 	}
+	setCacheHeader(w, j)
 	if mode == streamSSE {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")

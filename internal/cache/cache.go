@@ -1,0 +1,211 @@
+// Package cache is the serving tier's content-addressed result store: a
+// sharded, byte-bounded LRU keyed on (canonical-graph digest, options
+// fingerprint), plus the singleflight registry that collapses concurrent
+// identical misses onto one computation (singleflight.go).
+//
+// The package is deliberately generic and dependency-free: it knows nothing
+// about graphs or runs. internal/service supplies the keys (derived from
+// graph.CanonicalDigest and a fingerprint of the pool's run options), the
+// values (*core.RunResult), and the per-entry byte costs (the MemInfo-style
+// capacity arithmetic of the reconstruction graph).
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DigestSize is the byte length of a content digest (sha256).
+const DigestSize = 32
+
+// Key addresses one cached value: the canonical digest of the anchored
+// input graph plus a fingerprint of every run option that can influence the
+// value. Two requests with equal keys are guaranteed (up to hash collision
+// resistance) to want the identical result.
+type Key struct {
+	Digest  [DigestSize]byte
+	Options uint64
+}
+
+// Stats is a point-in-time snapshot of a cache's counters. Hits/Misses
+// count Get outcomes; Evictions counts entries displaced by the byte bound
+// (not replacements of the same key). Bytes/Entries are the current
+// accounted footprint.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Bytes     int64
+	Entries   int
+}
+
+// Cache is a sharded, byte-bounded LRU. All methods are safe for concurrent
+// use; the per-shard locks make disjoint keys scale across cores.
+type Cache[V any] struct {
+	shards    []shard[V]
+	mask      uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recent
+	bytes    int64
+	maxBytes int64
+}
+
+type entry[V any] struct {
+	key  Key
+	val  V
+	cost int64
+}
+
+// New returns a cache bounded at maxBytes of accounted entry cost, split
+// across `shards` (rounded up to a power of two; ≤ 0 picks 16). A cache
+// with maxBytes ≤ 0 stores nothing (every Get misses) but stays safe to
+// call — the disabled configuration needs no branches in callers.
+func New[V any](maxBytes int64, shards int) *Cache[V] {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache[V]{shards: make([]shard[V], n), mask: uint64(n - 1)}
+	per := maxBytes / int64(n)
+	if maxBytes > 0 && per == 0 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].maxBytes = per
+	}
+	return c
+}
+
+// shardOf picks the shard for a key: the digest is already a cryptographic
+// hash, so its leading bytes mixed with the options fingerprint distribute
+// uniformly.
+func (c *Cache[V]) shardOf(k Key) *shard[V] {
+	h := uint64(k.Digest[0]) | uint64(k.Digest[1])<<8 |
+		uint64(k.Digest[2])<<16 | uint64(k.Digest[3])<<24 |
+		uint64(k.Digest[4])<<32 | uint64(k.Digest[5])<<40 |
+		uint64(k.Digest[6])<<48 | uint64(k.Digest[7])<<56
+	h ^= k.Options * 0x9e3779b97f4a7c15
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the value cached under k, marking it most recently used.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.lru.MoveToFront(el)
+	v := el.Value.(*entry[V]).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores v under k at the given accounted cost, evicting
+// least-recently-used entries until the shard fits its byte bound. A value
+// whose cost exceeds the shard bound is not stored at all (it would evict
+// the whole shard for a single entry). Replacing an existing key adjusts the
+// accounting without counting an eviction.
+func (c *Cache[V]) Put(k Key, v V, cost int64) {
+	if cost < 0 {
+		cost = 0
+	}
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxBytes <= 0 || cost > s.maxBytes {
+		if el, ok := s.entries[k]; ok {
+			// The key's older, smaller value is stale: drop it rather than
+			// serve it beside a newer result we cannot hold.
+			s.removeLocked(el)
+		}
+		return
+	}
+	if el, ok := s.entries[k]; ok {
+		e := el.Value.(*entry[V])
+		s.bytes += cost - e.cost
+		e.val, e.cost = v, cost
+		s.lru.MoveToFront(el)
+	} else {
+		el := s.lru.PushFront(&entry[V]{key: k, val: v, cost: cost})
+		s.entries[k] = el
+		s.bytes += cost
+	}
+	for s.bytes > s.maxBytes {
+		back := s.lru.Back()
+		if back == nil || back == s.lru.Front() && len(s.entries) == 1 {
+			// Only the just-inserted entry remains; it fits by the cost
+			// check above, so this is unreachable — kept as a guard.
+			break
+		}
+		s.removeLocked(back)
+		c.evictions.Add(1)
+	}
+}
+
+// removeLocked unlinks an element from the shard. Caller holds s.mu.
+func (s *shard[V]) removeLocked(el *list.Element) {
+	e := el.Value.(*entry[V])
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.bytes -= e.cost
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes reports the accounted footprint of all cached entries.
+func (c *Cache[V]) Bytes() int64 {
+	var b int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		b += s.bytes
+		s.mu.Unlock()
+	}
+	return b
+}
+
+// Stats snapshots the cache's counters and footprint.
+func (c *Cache[V]) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// key builds a distinct Key from an integer (distinct digests) and an
+// options fingerprint.
+func key(i int, opts uint64) Key {
+	var k Key
+	k.Digest[0] = byte(i)
+	k.Digest[1] = byte(i >> 8)
+	k.Digest[2] = byte(i >> 16)
+	k.Options = opts
+	return k
+}
+
+func TestGetPutBasic(t *testing.T) {
+	c := New[string](1<<20, 4)
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key(1, 0), "a", 100)
+	v, ok := c.Get(key(1, 0))
+	if !ok || v != "a" {
+		t.Fatalf("get after put: %q %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 100 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestOptionsIsolation: the same digest under different options
+// fingerprints addresses different entries — the cache-level half of the
+// options-isolation matrix (the service-level half derives the
+// fingerprints).
+func TestOptionsIsolation(t *testing.T) {
+	c := New[string](1<<20, 4)
+	c.Put(key(7, 1), "opts1", 10)
+	if _, ok := c.Get(key(7, 2)); ok {
+		t.Fatal("different options fingerprint shared an entry")
+	}
+	c.Put(key(7, 2), "opts2", 10)
+	v1, _ := c.Get(key(7, 1))
+	v2, _ := c.Get(key(7, 2))
+	if v1 != "opts1" || v2 != "opts2" {
+		t.Fatalf("entries collided: %q %q", v1, v2)
+	}
+}
+
+// TestLRUEviction: a single-shard cache evicts in least-recently-used
+// order, counts evictions, and keeps its byte accounting exact.
+func TestLRUEviction(t *testing.T) {
+	c := New[int](300, 1)
+	c.Put(key(1, 0), 1, 100)
+	c.Put(key(2, 0), 2, 100)
+	c.Put(key(3, 0), 3, 100)
+	// Touch 1 so 2 is the LRU victim.
+	if _, ok := c.Get(key(1, 0)); !ok {
+		t.Fatal("1 missing")
+	}
+	c.Put(key(4, 0), 4, 100)
+	if _, ok := c.Get(key(2, 0)); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, ok := c.Get(key(i, 0)); !ok {
+			t.Fatalf("entry %d evicted out of order", i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 300 || st.Entries != 3 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+// TestReplaceAdjustsBytes: overwriting a key re-accounts its cost without
+// counting an eviction.
+func TestReplaceAdjustsBytes(t *testing.T) {
+	c := New[int](1000, 1)
+	c.Put(key(1, 0), 1, 400)
+	c.Put(key(1, 0), 2, 250)
+	st := c.Stats()
+	if st.Bytes != 250 || st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats after replace: %+v", st)
+	}
+	if v, _ := c.Get(key(1, 0)); v != 2 {
+		t.Fatalf("replace kept stale value %d", v)
+	}
+}
+
+// TestOversizedValueNotStored: an entry bigger than a shard's bound is
+// skipped (and drops any stale value under the same key).
+func TestOversizedValueNotStored(t *testing.T) {
+	c := New[int](100, 1)
+	c.Put(key(1, 0), 1, 50)
+	c.Put(key(1, 0), 2, 500)
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("oversized put left a (stale) entry behind")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("accounting after oversized put: %+v", st)
+	}
+}
+
+// TestDisabledCache: maxBytes 0 stores nothing but every call stays legal.
+func TestDisabledCache(t *testing.T) {
+	c := New[int](0, 8)
+	c.Put(key(1, 0), 1, 0)
+	c.Put(key(2, 0), 2, 10)
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("disabled cache accounting: %+v", st)
+	}
+}
+
+// TestShardedBound: the global byte bound holds across shards under a
+// many-key write load, and every surviving entry is readable.
+func TestShardedBound(t *testing.T) {
+	const maxBytes = 1 << 14
+	c := New[int](maxBytes, 8)
+	for i := 0; i < 1000; i++ {
+		c.Put(key(i, 0), i, 64)
+	}
+	st := c.Stats()
+	if st.Bytes > maxBytes {
+		t.Fatalf("cache over its byte bound: %d > %d", st.Bytes, maxBytes)
+	}
+	if st.Entries == 0 || st.Evictions == 0 {
+		t.Fatalf("expected a full, evicting cache: %+v", st)
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if v, ok := c.Get(key(i, 0)); ok {
+			if v != i {
+				t.Fatalf("entry %d holds %d", i, v)
+			}
+			hits++
+		}
+	}
+	if hits != st.Entries {
+		t.Fatalf("readable entries %d != accounted entries %d", hits, st.Entries)
+	}
+}
+
+// TestConcurrentAccess hammers a small cache from many goroutines — the
+// race detector is the assertion.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](1<<12, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(i%37, uint64(w%3))
+				if i%3 == 0 {
+					c.Put(k, i, int64(16+i%64))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes < 0 {
+		t.Fatalf("negative accounting: %+v", st)
+	}
+}
+
+// flightT is the test's flight payload for the singleflight group.
+type flightT struct {
+	done chan struct{}
+	val  int
+}
+
+// TestSingleflightOneLeader: N concurrent Joins on one key elect exactly
+// one leader; every waiter sees the leader's value; after Forget the next
+// Join leads a fresh flight.
+func TestSingleflightOneLeader(t *testing.T) {
+	var g Group[flightT]
+	k := key(1, 0)
+	const n = 32
+	var leaders int32
+	var mu sync.Mutex
+	results := make([]int, 0, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, leader := g.Join(k, func() *flightT { return &flightT{done: make(chan struct{})} })
+			if leader {
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+				f.val = 42
+				close(f.done)
+			}
+			<-f.done
+			mu.Lock()
+			results = append(results, f.val)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if leaders != 1 {
+		t.Fatalf("%d leaders for one key", leaders)
+	}
+	for _, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter saw %d", v)
+		}
+	}
+	if g.Len() != 1 {
+		t.Fatalf("group len %d", g.Len())
+	}
+	g.Forget(k)
+	if g.Len() != 0 {
+		t.Fatalf("group len after forget %d", g.Len())
+	}
+	if _, leader := g.Join(k, func() *flightT { return &flightT{done: make(chan struct{})} }); !leader {
+		t.Fatal("join after forget did not lead")
+	}
+}
+
+// TestSingleflightDistinctKeys: flights on distinct keys are independent.
+func TestSingleflightDistinctKeys(t *testing.T) {
+	var g Group[flightT]
+	f1, l1 := g.Join(key(1, 0), func() *flightT { return &flightT{} })
+	f2, l2 := g.Join(key(1, 1), func() *flightT { return &flightT{} })
+	if !l1 || !l2 {
+		t.Fatal("distinct keys should both lead")
+	}
+	if f1 == f2 {
+		t.Fatal("distinct keys share a flight")
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := New[string](1<<24, 16)
+	keys := make([]Key, 256)
+	for i := range keys {
+		keys[i] = key(i, 0)
+		c.Put(keys[i], fmt.Sprint(i), 1024)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(keys[i&255])
+			i++
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package cache
+
+import "sync"
+
+// Group is the singleflight registry: a keyed set of in-flight
+// computations. The first Join for a key creates its flight and reports
+// leadership; every further Join before Forget returns the same flight.
+// The flight type F is caller-defined — the group only manages identity and
+// lifetime, so the serving layer can hang waiter lists, progress fan-out,
+// and results off its own flight struct.
+//
+// The contract: the leader (and only the leader) eventually calls Forget,
+// BEFORE publishing the flight's outcome to waiters. That order makes the
+// late-joiner race safe — a request that joins after Forget starts a fresh
+// flight (or hits the cache the leader just populated) instead of attaching
+// to a completed one.
+type Group[F any] struct {
+	mu sync.Mutex
+	m  map[Key]*F
+}
+
+// Join returns the flight registered under k, creating it with create()
+// when none is in flight. leader reports whether this call created the
+// flight.
+func (g *Group[F]) Join(k Key, create func() *F) (f *F, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[Key]*F)
+	}
+	if f, ok := g.m[k]; ok {
+		return f, false
+	}
+	f = create()
+	g.m[k] = f
+	return f, true
+}
+
+// Forget removes k's flight, so the next Join starts fresh. Idempotent.
+func (g *Group[F]) Forget(k Key) {
+	g.mu.Lock()
+	delete(g.m, k)
+	g.mu.Unlock()
+}
+
+// Len reports the number of flights in progress.
+func (g *Group[F]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

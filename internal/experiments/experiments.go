@@ -143,6 +143,7 @@ var registry = []struct {
 	{"e16", E16ServedThroughput},
 	{"e17", E17Hostile},
 	{"e18", E18Scale},
+	{"e19", E19CachedServing},
 }
 
 // IDs lists experiment identifiers in order.

@@ -246,6 +246,43 @@ func checkInvariants(t *testing.T, id string, table *Table) {
 		if checked != 2 {
 			t.Errorf("E18 checked %d of the 2 required N=1e5 anchor rows", checked)
 		}
+	case "e19":
+		// The cached-serving acceptance gate: every result bit-identical,
+		// engine runs only on non-hit non-shared requests, and the headline
+		// hit path ≥100× under the cold-map p50.
+		mode, ident := col(table, "mode"), col(table, "identical")
+		reqs, runs := col(table, "requests"), col(table, "runs")
+		hitPct, shared := col(table, "hit%"), col(table, "shared")
+		speedup, collapse := col(table, "speedup"), col(table, "collapse")
+		headlines := 0
+		for _, row := range table.Rows {
+			if row[ident] != "yes" {
+				t.Errorf("E19 cached result diverges: %v", row)
+			}
+			rq, _ := strconv.Atoi(row[reqs])
+			rn, _ := strconv.Atoi(row[runs])
+			sh, _ := strconv.Atoi(row[shared])
+			hp, _ := strconv.ParseFloat(row[hitPct], 64)
+			hits := int(hp*float64(rq)/100 + 0.5)
+			if rn != rq-hits-sh {
+				t.Errorf("E19 runs %d != requests %d - hits %d - shared %d: %v", rn, rq, hits, sh, row)
+			}
+			if rn >= rq {
+				t.Errorf("E19 cache absorbed nothing: %v", row)
+			}
+			if v, _ := strconv.ParseFloat(row[collapse], 64); v < 1 && rn > 0 {
+				t.Errorf("E19 collapse factor under 1: %v", row)
+			}
+			if strings.HasPrefix(row[mode], "headline") {
+				headlines++
+				if v, _ := strconv.ParseFloat(row[speedup], 64); v < 100 {
+					t.Errorf("E19 headline speedup %.1f < 100×: %v", v, row)
+				}
+			}
+		}
+		if headlines != 1 {
+			t.Errorf("E19 has %d headline rows, want 1", headlines)
+		}
 	case "e14":
 		// Dense and sparse scheduling must be observationally identical
 		// on every row, and at N=1024 the sparse scheduler must examine

@@ -1,9 +1,83 @@
 package graph
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"hash"
+	"strconv"
 	"strings"
+	"sync"
 )
+
+// DigestSize is the byte length of a CanonicalDigest (sha256).
+const DigestSize = sha256.Size
+
+// Digest is the content address of a port-numbered graph anchored at a
+// root: two (graph, root) pairs have equal digests iff their canonical
+// forms are equal (up to sha256 collision resistance), i.e. iff they are
+// port-preserving isomorphic with one root mapped to the other.
+type Digest [DigestSize]byte
+
+// canonScratch is the reusable traversal state shared by CanonicalFrom and
+// CanonicalDigest: the BFS discovery numbers, the canonical order, the BFS
+// queue, a byte scratch for number formatting / hash framing, and a resident
+// sha256 state. Pooled so the canonical hot path allocates nothing beyond
+// its return value.
+type canonScratch struct {
+	name  []int
+	order []int
+	queue []int
+	buf   []byte
+	h     hash.Hash
+	sum   [DigestSize]byte
+}
+
+var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
+
+// reserve sizes the scratch for an n-node traversal.
+func (sc *canonScratch) reserve(n int) {
+	if cap(sc.name) < n {
+		sc.name = make([]int, n)
+		sc.order = make([]int, n)
+		sc.queue = make([]int, n)
+	}
+	sc.name = sc.name[:n]
+	sc.order = sc.order[:n]
+	sc.queue = sc.queue[:n]
+}
+
+// canonicalOrder runs the canonical traversal from root: a BFS that follows
+// out-ports in ascending order, assigning discovery numbers. It fills
+// sc.name (node → discovery number, -1 if unreached) and sc.order
+// (discovery number → node, valid for the first `reached` entries) and
+// returns the number of reached nodes. This is the traversal both the
+// string form and the digest are built from; the two must never diverge.
+func (g *Graph) canonicalOrder(root int, sc *canonScratch) (reached int) {
+	n := g.N()
+	sc.reserve(n)
+	name, order, queue := sc.name, sc.order, sc.queue
+	for i := range name {
+		name[i] = -1
+	}
+	name[root] = 0
+	order[0] = root
+	queue[0] = root
+	next, head, tail := 1, 0, 1
+	for head < tail {
+		v := queue[head]
+		head++
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort && name[e.Node] == -1 {
+				name[e.Node] = next
+				order[next] = e.Node
+				next++
+				queue[tail] = e.Node
+				tail++
+			}
+		}
+	}
+	return next
+}
 
 // CanonicalFrom returns a canonical string form of g anchored at root. Two
 // graphs have equal canonical forms iff there is a port-preserving
@@ -16,55 +90,118 @@ import (
 // The graph must be strongly connected for the form to cover every node; if
 // some node is unreachable from root the form includes an UNREACHED marker so
 // comparisons still behave sanely.
+//
+// CanonicalDigest is the streaming-hash twin of this form: it never
+// materialises the string, and digest equality coincides with string
+// equality. Prefer it for keys; prefer CanonicalFrom for debugging output.
 func (g *Graph) CanonicalFrom(root int) string {
+	sc := canonPool.Get().(*canonScratch)
+	defer canonPool.Put(sc)
 	n := g.N()
-	name := make([]int, n)
-	for i := range name {
-		name[i] = -1
-	}
-	next := 0
-	assign := func(v int) {
-		if name[v] == -1 {
-			name[v] = next
-			next++
-		}
-	}
-	assign(root)
-	queue := []int{root}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for p := 1; p <= g.delta; p++ {
-			if e := g.out[v][p-1]; e.Node != NoPort {
-				if name[e.Node] == -1 {
-					assign(e.Node)
-					queue = append(queue, e.Node)
-				}
-			}
-		}
-	}
+	next := g.canonicalOrder(root, sc)
+
+	// One builder allocation: size for the header plus every wire at its
+	// worst-case decimal width.
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d;delta=%d", n, g.delta)
+	dn, dp := decimalDigits(n), decimalDigits(g.delta)
+	b.Grow(32 + g.NumEdges()*(4+2*dn+2*dp))
+	buf := sc.buf[:0]
+	buf = append(buf, "n="...)
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	buf = append(buf, ";delta="...)
+	buf = strconv.AppendInt(buf, int64(g.delta), 10)
 	if next != n {
-		fmt.Fprintf(&b, ";UNREACHED=%d", n-next)
+		buf = append(buf, ";UNREACHED="...)
+		buf = strconv.AppendInt(buf, int64(n-next), 10)
 	}
-	// List wires sorted by (canonical source, out-port). Iterating nodes
-	// in canonical-name order makes the output order deterministic.
-	order := make([]int, n)
-	for v := 0; v < n; v++ {
-		if name[v] >= 0 {
-			order[name[v]] = v
-		}
-	}
+	// List wires sorted by (canonical source, out-port); iterating nodes in
+	// canonical-name order makes the output order deterministic.
 	for i := 0; i < next; i++ {
-		v := order[i]
+		v := sc.order[i]
 		for p := 1; p <= g.delta; p++ {
 			if e := g.out[v][p-1]; e.Node != NoPort {
-				fmt.Fprintf(&b, ";%d:%d>%d:%d", name[v], p, name[e.Node], e.Port)
+				buf = append(buf, ';')
+				buf = strconv.AppendInt(buf, int64(i), 10)
+				buf = append(buf, ':')
+				buf = strconv.AppendInt(buf, int64(p), 10)
+				buf = append(buf, '>')
+				buf = strconv.AppendInt(buf, int64(sc.name[e.Node]), 10)
+				buf = append(buf, ':')
+				buf = strconv.AppendInt(buf, int64(e.Port), 10)
 			}
 		}
+		if len(buf) >= 1<<12 {
+			b.Write(buf)
+			buf = buf[:0]
+		}
 	}
+	b.Write(buf)
+	sc.buf = buf[:0]
 	return b.String()
+}
+
+// CanonicalDigest returns a 32-byte content address of g anchored at root:
+// the sha256 of a framed binary encoding of exactly the information
+// CanonicalFrom renders (node count, degree bound, unreached count, and
+// every wire in canonical order). Two (graph, root) pairs have equal
+// digests iff their canonical string forms are equal — the digest/string
+// agreement is pinned on the family corpus by TestCanonicalDigestMatchesForm.
+//
+// Unlike CanonicalFrom, the digest streams the traversal into the hash
+// without materialising anything graph-sized; the steady state allocates
+// nothing. The result cache keys on it.
+func (g *Graph) CanonicalDigest(root int) Digest {
+	sc := canonPool.Get().(*canonScratch)
+	defer canonPool.Put(sc)
+	next := g.canonicalOrder(root, sc)
+	if sc.h == nil {
+		sc.h = sha256.New()
+	}
+	h := sc.h
+	h.Reset()
+
+	// Framed encoding, injective over the canonical form: a header of
+	// (n, delta, reached), then per canonical node its wired out-ports as
+	// (port, target name, target in-port) triples closed by a 0 frame —
+	// ports are 1-based, so 0 is unambiguous as a node terminator.
+	buf := sc.buf[:0]
+	buf = appendU32(buf, uint32(g.N()))
+	buf = appendU32(buf, uint32(g.delta))
+	buf = appendU32(buf, uint32(next))
+	for i := 0; i < next; i++ {
+		v := sc.order[i]
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort {
+				buf = appendU32(buf, uint32(p))
+				buf = appendU32(buf, uint32(sc.name[e.Node]))
+				buf = appendU32(buf, uint32(e.Port))
+			}
+		}
+		buf = appendU32(buf, 0)
+		if len(buf) >= 1<<12 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	sc.buf = buf[:0]
+	h.Sum(sc.sum[:0])
+	return sc.sum
+}
+
+// appendU32 appends v little-endian.
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// decimalDigits returns the decimal width of n (n ≥ 0).
+func decimalDigits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
 }
 
 // IsomorphicFrom reports whether g anchored at gRoot and h anchored at hRoot

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// referenceCanonicalFrom is the pre-optimisation implementation of
+// CanonicalFrom, kept verbatim as the oracle: the pooled/scratch rewrite
+// must produce byte-identical strings for every graph and root.
+func referenceCanonicalFrom(g *Graph, root int) string {
+	n := g.N()
+	name := make([]int, n)
+	for i := range name {
+		name[i] = -1
+	}
+	next := 0
+	assign := func(v int) {
+		if name[v] == -1 {
+			name[v] = next
+			next++
+		}
+	}
+	assign(root)
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort {
+				if name[e.Node] == -1 {
+					assign(e.Node)
+					queue = append(queue, e.Node)
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d;delta=%d", n, g.delta)
+	if next != n {
+		fmt.Fprintf(&b, ";UNREACHED=%d", n-next)
+	}
+	order := make([]int, n)
+	for v := 0; v < n; v++ {
+		if name[v] >= 0 {
+			order[name[v]] = v
+		}
+	}
+	for i := 0; i < next; i++ {
+		v := order[i]
+		for p := 1; p <= g.delta; p++ {
+			if e := g.out[v][p-1]; e.Node != NoPort {
+				fmt.Fprintf(&b, ";%d:%d>%d:%d", name[v], p, name[e.Node], e.Port)
+			}
+		}
+	}
+	return b.String()
+}
+
+// canonicalCorpus builds a deterministic mix of structured and irregular
+// families at several sizes and seeds, plus a partially-reachable graph
+// (UNREACHED path) and relabeled copies.
+func canonicalCorpus(t testing.TB) []*Graph {
+	t.Helper()
+	var out []*Graph
+	for _, fam := range []Family{FamilyRing, FamilyTorus, FamilyKautz,
+		FamilyErdosRenyi, FamilyBarabasiAlbert, FamilyASTiers, FamilyChordalRing} {
+		for _, n := range []int{8, 24, 64} {
+			for _, seed := range []int64{1, 9} {
+				g, err := Build(fam, n, seed)
+				if err != nil {
+					t.Fatalf("build %s n=%d seed=%d: %v", fam, n, seed, err)
+				}
+				out = append(out, g)
+			}
+		}
+	}
+	// A graph with a node unreachable from root 0: two mutual pairs with a
+	// one-way bridge (2,3 cannot be reached backwards from... 0 reaches
+	// all; anchor at 2 leaves 0,1 unreached).
+	h := New(4, 2)
+	h.MustConnect(0, 1, 1, 1)
+	h.MustConnect(1, 1, 0, 1)
+	h.MustConnect(1, 2, 2, 2)
+	h.MustConnect(2, 1, 3, 1)
+	h.MustConnect(3, 1, 2, 1)
+	out = append(out, h)
+	return out
+}
+
+// TestCanonicalFromMatchesReference pins the optimised CanonicalFrom
+// byte-for-byte against the pre-optimisation implementation across the
+// corpus, at several roots including ones yielding UNREACHED markers.
+func TestCanonicalFromMatchesReference(t *testing.T) {
+	for gi, g := range canonicalCorpus(t) {
+		roots := []int{0, g.N() / 2, g.N() - 1}
+		for _, r := range roots {
+			want := referenceCanonicalFrom(g, r)
+			got := g.CanonicalFrom(r)
+			if got != want {
+				t.Fatalf("graph %d (%v) root %d: canonical form diverged from reference\n got  %.120s\n want %.120s",
+					gi, g, r, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalDigestMatchesForm is the digest/string agreement pin: across
+// every (graph, root) pair of the corpus, digests are equal exactly when
+// canonical string forms are equal. This is the property the result cache's
+// content addressing rests on.
+func TestCanonicalDigestMatchesForm(t *testing.T) {
+	type anchored struct {
+		form   string
+		digest Digest
+	}
+	var all []anchored
+	for _, g := range canonicalCorpus(t) {
+		for _, r := range []int{0, g.N() - 1} {
+			all = append(all, anchored{g.CanonicalFrom(r), g.CanonicalDigest(r)})
+		}
+	}
+	for i := range all {
+		for j := range all {
+			formEq := all[i].form == all[j].form
+			digEq := all[i].digest == all[j].digest
+			if formEq != digEq {
+				t.Fatalf("digest/string disagreement between anchored graphs %d and %d: formEq=%v digestEq=%v\n i: %.100s\n j: %.100s",
+					i, j, formEq, digEq, all[i].form, all[j].form)
+			}
+		}
+	}
+}
+
+// TestCanonicalDigestRelabelInvariant: a relabeled copy (a port-preserving
+// isomorphism) anchored at the root's image has the identical digest; a
+// single rewired edge changes it.
+func TestCanonicalDigestRelabelInvariant(t *testing.T) {
+	g, err := Build(FamilyErdosRenyi, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := RandomPermutation(g.N(), 77)
+	h := g.Relabel(perm)
+	if g.CanonicalDigest(0) != h.CanonicalDigest(perm[0]) {
+		t.Fatal("relabeled isomorphic copy has a different digest")
+	}
+	if g.CanonicalDigest(0) == h.CanonicalDigest(perm[1%g.N()]) && g.CanonicalFrom(0) != h.CanonicalFrom(perm[1]) {
+		t.Fatal("digest collision across distinct anchored forms")
+	}
+}
+
+// TestCanonicalDigestRootSharing documents the root semantics of content
+// addressing: on a vertex-transitive graph (ring) every root anchors the
+// same canonical form, so digests coincide — sharing a cached result across
+// those requests is exactly correct. On an asymmetric graph distinct roots
+// anchor distinct forms and must get distinct digests (the cache must not
+// share entries across them).
+func TestCanonicalDigestRootSharing(t *testing.T) {
+	ring := Ring(16)
+	if ring.CanonicalDigest(0) != ring.CanonicalDigest(7) {
+		t.Fatal("vertex-transitive ring: digests should coincide across roots")
+	}
+	line := Line(5)
+	if line.CanonicalFrom(0) == line.CanonicalFrom(2) {
+		t.Fatal("test premise broken: line roots should anchor distinct forms")
+	}
+	if line.CanonicalDigest(0) == line.CanonicalDigest(2) {
+		t.Fatal("asymmetric line: distinct anchored forms share a digest")
+	}
+}
+
+// TestCanonicalAllocs pins the hot-path allocation fix: a warm
+// CanonicalFrom costs only its result string (the builder's single Grow),
+// and a warm CanonicalDigest allocates nothing.
+func TestCanonicalAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are meaningless under the race detector's instrumentation")
+	}
+	g, err := Build(FamilyErdosRenyi, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the scratch pool.
+	g.CanonicalFrom(0)
+	g.CanonicalDigest(0)
+	if avg := testing.AllocsPerRun(20, func() { g.CanonicalFrom(0) }); avg > 2 {
+		t.Errorf("CanonicalFrom allocates %.1f/run, want ≤ 2 (result string + slack)", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() { g.CanonicalDigest(0) }); avg > 1 {
+		t.Errorf("CanonicalDigest allocates %.1f/run, want ≤ 1", avg)
+	}
+}
+
+func benchCanonGraph(b *testing.B) *Graph {
+	b.Helper()
+	g, err := Build(FamilyErdosRenyi, 1024, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkCanonicalFrom measures the string form on an irregular
+// 1024-node graph (the allocation-heavy comparison point).
+func BenchmarkCanonicalFrom(b *testing.B) {
+	g := benchCanonGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CanonicalFrom(0)
+	}
+}
+
+// BenchmarkCanonicalDigest measures the streamed digest on the same graph —
+// the per-request key-derivation cost of the serving cache.
+func BenchmarkCanonicalDigest(b *testing.B) {
+	g := benchCanonGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CanonicalDigest(0)
+	}
+}

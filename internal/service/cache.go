@@ -1,0 +1,182 @@
+package service
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"topomap/internal/cache"
+	"topomap/internal/core"
+	"topomap/internal/graph"
+)
+
+// CacheState classifies how a submitted job met the result cache.
+type CacheState int32
+
+const (
+	// CacheNone: the cache was disabled, bypassed (NoCache), or the
+	// request was not addressable (root out of range).
+	CacheNone CacheState = iota
+	// CacheHit: the result was served from the cache; no engine ran.
+	CacheHit
+	// CacheMiss: this job started the engine run that will (on success)
+	// populate the cache.
+	CacheMiss
+	// CacheShared: the job attached to an identical run already in flight
+	// and shares its outcome; no second engine run was queued.
+	CacheShared
+)
+
+// String renders the state as the daemon's X-Topomap-Cache header value
+// ("" for CacheNone).
+func (s CacheState) String() string {
+	switch s {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	case CacheShared:
+		return "shared"
+	}
+	return ""
+}
+
+// optionsFingerprint hashes every run option that can influence a job's
+// observable outcome — result bits or statistics — into the cache key's
+// options half. The engine's determinism guarantee makes results invariant
+// in Workers and Sched, but RunResult.Stats carries scheduler telemetry
+// (SeqTicks/ParTicks/Bursts) that is not, so the fingerprint is
+// conservative: any difference in MaxTicks, validation, worker count,
+// substrate, policy, protocol speeds, or fault plan isolates the entry.
+// The root is deliberately absent — it is anchored inside the canonical
+// digest, which is the whole point of content addressing (isomorphic
+// requests share).
+func optionsFingerprint(o core.Options) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 128)
+	u64 := func(v uint64) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	i := func(v int) { u64(uint64(int64(v))) }
+	b := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	i(o.MaxTicks)
+	b(o.Validate)
+	i(o.Workers)
+	b(o.Dense)
+	i(int(o.Sched))
+	i(o.SeqThreshold)
+	if o.Config == nil {
+		u64(0)
+	} else {
+		u64(1)
+		i(o.Config.SnakeDelay)
+		i(o.Config.LoopDelay)
+		i(o.Config.UnmarkDelay)
+		i(o.Config.KillDelay)
+		b(o.Config.PassiveRoot)
+	}
+	if o.Faults == nil {
+		u64(0)
+	} else {
+		u64(1)
+		u64(uint64(o.Faults.Seed))
+		u64(math.Float64bits(o.Faults.DropRate))
+		i(len(o.Faults.Crashes))
+		for _, c := range o.Faults.Crashes {
+			i(c.Node)
+			i(c.Tick)
+		}
+	}
+	h.Write(buf)
+	return h.Sum64()
+}
+
+// resultCost is the byte accounting of one cached RunResult, in the MemInfo
+// capacity-arithmetic discipline: the reconstruction graph's flat endpoint
+// table (2 sides × n×δ endpoints × 16 B) plus its per-node slice headers
+// (2 × 24 B) and a fixed allowance for the Graph/RunResult/Stats structs
+// and the LRU's own bookkeeping.
+func resultCost(r *core.RunResult) int64 {
+	const entryOverhead = 512
+	if r == nil || r.Topology == nil {
+		return entryOverhead
+	}
+	n, d := int64(r.Topology.N()), int64(r.Topology.Delta())
+	return 2*n*d*16 + 2*n*24 + entryOverhead
+}
+
+// flight is one in-progress engine run that any number of identical
+// requests share: the leader's Submit enqueues a single internal job, and
+// every requester (leader included) becomes a waiter completed by the
+// internal job's broadcast. Progress events from the run fan out to every
+// waiter sink; a waiter cancelling detaches only itself.
+type flight struct {
+	key cache.Key
+
+	mu      sync.Mutex
+	closed  bool
+	waiters []*Job
+	res     *core.RunResult
+	err     error
+}
+
+// attach registers a waiter for the flight's broadcast. It reports false if
+// the flight has already completed — the caller must then serve the flight's
+// recorded outcome itself (the late-joiner race window between Group.Join
+// and the leader's Forget).
+func (fl *flight) attach(j *Job) bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed {
+		return false
+	}
+	fl.waiters = append(fl.waiters, j)
+	return true
+}
+
+// completeAll records the outcome, closes the flight, and returns the
+// waiters to broadcast to. Called exactly once, by the internal job's
+// completion hook, after the key has been Forgotten.
+func (fl *flight) completeAll(res *core.RunResult, err error) []*Job {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.closed = true
+	fl.res, fl.err = res, err
+	ws := fl.waiters
+	fl.waiters = nil
+	return ws
+}
+
+// fanProgress delivers one progress event to every waiter sink registered
+// at this instant. Runs on the serving goroutine (like any progress sink);
+// waiter sinks must not block, per the JobOptions.Progress contract.
+func (fl *flight) fanProgress(p Progress) {
+	fl.mu.Lock()
+	ws := make([]*Job, len(fl.waiters))
+	copy(ws, fl.waiters)
+	fl.mu.Unlock()
+	for _, w := range ws {
+		if w.progress != nil {
+			w.progress(p)
+		}
+	}
+}
+
+// cacheKey derives the content address of a request: the canonical digest
+// of the graph anchored at the effective root, plus the pool's options
+// fingerprint. ok is false when the request is not addressable (root out of
+// range — the run will fail with a proper error; the cache stays out of the
+// way).
+func (p *Pool) cacheKey(g *graph.Graph, root int) (cache.Key, bool) {
+	if root < 0 || root >= g.N() {
+		return cache.Key{}, false
+	}
+	return cache.Key{Digest: [cache.DigestSize]byte(g.CanonicalDigest(root)), Options: p.optFP}, true
+}

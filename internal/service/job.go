@@ -77,6 +77,10 @@ type JobOptions struct {
 	// while queued. Done is already closed when it runs, so Outcome is
 	// valid. It must return quickly and must not call back into the pool.
 	OnDone func(*Job)
+	// NoCache bypasses the pool's result cache for this job: no lookup, no
+	// singleflight attachment, and the run's result is not stored. The job
+	// behaves exactly as on a cache-less pool.
+	NoCache bool
 }
 
 // Job is the async handle of a submitted mapping run. Await (or Done) is the
@@ -99,6 +103,10 @@ type Job struct {
 	onDone        func(*Job)
 
 	submitted time.Time
+
+	// cacheState is written by Submit before the handle is returned (and
+	// never after), so a plain field read in CacheState is safe.
+	cacheState CacheState
 
 	status atomic.Int32
 	done   chan struct{}
@@ -152,6 +160,13 @@ func (p *Pool) newJob(ctx context.Context, g *graph.Graph, opts JobOptions) *Job
 
 // Status reports the job's lifecycle state.
 func (j *Job) Status() JobStatus { return JobStatus(j.status.Load()) }
+
+// CacheState reports how the submit met the pool's result cache: CacheHit
+// (served from memory, already done when Submit returned), CacheShared
+// (attached to an identical run in flight), CacheMiss (this submit started
+// the run that will populate the cache), or CacheNone (cache disabled or
+// bypassed). Fixed at submit time.
+func (j *Job) CacheState() CacheState { return j.cacheState }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -238,6 +253,23 @@ func (j *Job) finishFromQueued(err error) bool {
 		j.onDone(j)
 	}
 	return true
+}
+
+// finishShared completes a job whose outcome came from the cache or a
+// shared flight — the job was never queued, so it moves straight from
+// Queued to Done. The CAS loses (and the call is a no-op) if the job was
+// already canceled; ran is true because the outcome did come from an engine
+// run, just not one this job queued.
+func (j *Job) finishShared(res *core.RunResult, err error) {
+	if !j.status.CompareAndSwap(int32(StatusQueued), int32(StatusDone)) {
+		return
+	}
+	j.res, j.err, j.ran = res, err, true
+	close(j.done)
+	j.pool.release(j)
+	if j.onDone != nil {
+		j.onDone(j)
+	}
 }
 
 // complete finishes a job the worker claimed (status Running): only the

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"topomap/internal/cache"
 	"topomap/internal/core"
 	"topomap/internal/graph"
 )
@@ -56,6 +57,16 @@ type Options struct {
 	// events for jobs that set a Progress sink without an interval; 0
 	// picks 64.
 	ProgressEvery int
+	// CacheBytes bounds the content-addressed result cache: repeat
+	// submissions of an isomorphic (graph, root) pair under the same run
+	// options are served from memory without an engine run, and concurrent
+	// identical misses collapse onto one run (singleflight). 0 disables
+	// caching entirely — every submit queues its own run, exactly the
+	// pre-cache behaviour.
+	CacheBytes int64
+	// CacheShards is the cache's shard count (lock granularity); 0 picks
+	// 16. Rounded up to a power of two.
+	CacheShards int
 	// Run configures every run of the pool (root, tick budget, engine
 	// workers, scheduling, protocol config); per-job overrides are limited
 	// to JobOptions.Root.
@@ -108,9 +119,33 @@ type Stats struct {
 	ArenaBytes         int64
 	HeapInUse          uint64
 
-	// AvgQueueWait and AvgRun are means over served runs.
-	AvgQueueWait time.Duration
-	AvgRun       time.Duration
+	// Result-cache counters. CacheHits counts submits served straight from
+	// the content-addressed cache (no engine run, no queueing); CacheMisses
+	// counts submits that started a fresh engine run (singleflight
+	// leaders); CacheShared counts submits that collapsed onto an identical
+	// run already in flight. CacheHits+CacheMisses+CacheShared is the
+	// number of cache-eligible submits. CacheEvictions/CacheBytes/
+	// CacheEntries are the LRU's displacement count and accounted
+	// footprint. All zero when the cache is disabled.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheShared    uint64
+	CacheEvictions uint64
+	CacheBytes     int64
+	CacheEntries   int
+	// CacheHitRate is CacheHits over cache-eligible submits.
+	CacheHitRate float64
+
+	// AvgQueueWait and AvgRun are means over served runs (the cold path);
+	// AvgHit is the mean submit-to-completion latency of cache hits (key
+	// derivation + lookup — no engine run). The Total* sums are the same
+	// accumulators un-divided, for /metrics-style exposition.
+	AvgQueueWait   time.Duration
+	AvgRun         time.Duration
+	AvgHit         time.Duration
+	TotalQueueWait time.Duration
+	TotalRun       time.Duration
+	TotalHit       time.Duration
 
 	// Closed reports that Close or Drain has begun: submits are rejected.
 	Closed bool
@@ -136,6 +171,14 @@ type Pool struct {
 
 	workers sync.WaitGroup
 
+	// cache is the content-addressed result store (nil when disabled);
+	// flights is the singleflight registry collapsing concurrent identical
+	// misses; optFP is the pool's precomputed options fingerprint — run
+	// options are fixed for the pool's lifetime, so it never changes.
+	cache   *cache.Cache[*core.RunResult]
+	flights cache.Group[flight]
+	optFP   uint64
+
 	// lastMem is the memory report of the most recent finished run's
 	// session, refreshed by workers after every serve; memMu guards it.
 	memMu   sync.Mutex
@@ -144,7 +187,8 @@ type Pool struct {
 	baseMallocs uint64
 	stats       struct {
 		submitted, rejected, served, failed, canceled, panics, warm counter
-		running, queueWaitNs, runNs                                 gauge
+		hits, misses, shared                                        counter
+		running, queueWaitNs, runNs, hitNs                          gauge
 	}
 }
 
@@ -171,6 +215,10 @@ func New(opts Options) *Pool {
 		jobs:        make(map[uint64]*Job),
 		baseMallocs: mallocs(),
 	}
+	if opts.CacheBytes > 0 {
+		p.cache = cache.New[*core.RunResult](opts.CacheBytes, opts.CacheShards)
+		p.optFP = optionsFingerprint(opts.Run)
+	}
 	p.workers.Add(opts.Size)
 	for i := 0; i < opts.Size; i++ {
 		go p.worker()
@@ -184,6 +232,15 @@ func New(opts Options) *Pool {
 // aborts when it dies) and the job's lifetime: cancelling it cancels the
 // job, queued or running. A full queue rejects (ErrQueueFull) or blocks,
 // per the pool's backpressure policy; a closed pool rejects with ErrClosed.
+//
+// With a result cache configured (Options.CacheBytes), Submit first
+// content-addresses the request — the canonical digest of the graph
+// anchored at the effective root, plus the pool's options fingerprint. A
+// hit completes the job immediately with the cached result (no engine run,
+// no queueing); a request identical to a run already in flight attaches to
+// that run instead of queueing a duplicate (singleflight); only a genuine
+// miss queues an engine run, whose successful result populates the cache on
+// the way out. Job.CacheState reports which path served the job.
 func (p *Pool) Submit(ctx context.Context, g *graph.Graph, opts JobOptions) (*Job, error) {
 	if g == nil {
 		return nil, errors.New("service: nil graph")
@@ -200,31 +257,127 @@ func (p *Pool) Submit(ctx context.Context, g *graph.Graph, opts JobOptions) (*Jo
 	p.mu.Unlock()
 	defer p.submitters.Done()
 
+	if p.cache != nil && !opts.NoCache {
+		root := p.opts.Run.Root
+		if opts.Root != nil {
+			root = *opts.Root
+		}
+		if key, ok := p.cacheKey(g, root); ok {
+			return p.submitCached(ctx, g, opts, key, root)
+		}
+	}
+
 	j := p.newJob(ctx, g, opts)
+	if err := p.enqueue(ctx, j); err != nil {
+		p.release(j)
+		return nil, err
+	}
+	p.stats.submitted.add(1)
+	return j, nil
+}
+
+// submitCached is the cache-eligible half of Submit: serve a hit from
+// memory, attach a shared request to the identical run in flight, or lead a
+// new flight whose single internal job runs the engine for every waiter.
+func (p *Pool) submitCached(ctx context.Context, g *graph.Graph, opts JobOptions, key cache.Key, root int) (*Job, error) {
+	start := time.Now()
+	if res, ok := p.cache.Get(key); ok {
+		j := p.newJob(ctx, g, opts)
+		j.cacheState = CacheHit
+		p.stats.hits.add(1)
+		p.stats.submitted.add(1)
+		p.stats.hitNs.add(int64(time.Since(start)))
+		j.finishShared(res, nil)
+		return j, nil
+	}
+	fl, leader := p.flights.Join(key, func() *flight { return &flight{key: key} })
+	if !leader {
+		j := p.newJob(ctx, g, opts)
+		j.cacheState = CacheShared
+		p.stats.shared.add(1)
+		p.stats.submitted.add(1)
+		if !fl.attach(j) {
+			// The flight completed between Join and attach; its recorded
+			// outcome is immutable now, so serve it directly.
+			j.finishShared(fl.res, fl.err)
+		}
+		return j, nil
+	}
+
+	// Leader: one internal job runs the engine under a context detached
+	// from any individual requester, so a waiter's cancellation can never
+	// poison the run for the others. The requester becomes the flight's
+	// first waiter like everyone else.
+	j := p.newJob(ctx, g, opts)
+	j.cacheState = CacheMiss
+	fl.attach(j)
+	ij := p.newFlightJob(fl, g, root)
+	if err := p.enqueue(ctx, ij); err != nil {
+		// The flight never got its run: fail it for every waiter that
+		// managed to attach, then surface the submit error to the leader's
+		// caller like any rejected Submit.
+		p.flights.Forget(key)
+		p.release(ij)
+		for _, w := range fl.completeAll(nil, err) {
+			w.finishShared(nil, err)
+		}
+		return nil, err
+	}
+	p.stats.misses.add(1)
+	p.stats.submitted.add(1)
+	return j, nil
+}
+
+// newFlightJob builds the internal job that runs the engine for a flight:
+// detached from every requester's context (bounded only by the pool's
+// DefaultDeadline), fanning progress out to the flight's waiters, and
+// broadcasting its outcome — after populating the cache — via finishFlight.
+func (p *Pool) newFlightJob(fl *flight, g *graph.Graph, root int) *Job {
+	return p.newJob(context.Background(), g, JobOptions{
+		Root:          &root,
+		Progress:      fl.fanProgress,
+		ProgressEvery: p.opts.ProgressEvery,
+		OnDone:        func(ij *Job) { p.finishFlight(fl, ij) },
+	})
+}
+
+// finishFlight is the internal job's completion hook: populate the cache
+// (successful runs only), retire the flight key so later submits start
+// fresh (or hit the entry just written), then broadcast to every waiter.
+// Runs on the goroutine that finished the internal job.
+func (p *Pool) finishFlight(fl *flight, ij *Job) {
+	res, err := ij.Outcome()
+	if err == nil && res != nil {
+		p.cache.Put(fl.key, res, resultCost(res))
+	}
+	p.flights.Forget(fl.key)
+	for _, w := range fl.completeAll(res, err) {
+		w.finishShared(res, err)
+	}
+}
+
+// enqueue pushes a job into the queue under the pool's backpressure policy.
+// ctx bounds a blocked enqueue; the caller owns releasing the job on error.
+func (p *Pool) enqueue(ctx context.Context, j *Job) error {
 	if p.opts.Block {
 		select {
 		case p.queue <- j:
 		case <-p.closedCh:
-			p.release(j)
-			return nil, ErrClosed
+			return ErrClosed
 		case <-ctx.Done():
-			p.release(j)
-			return nil, ctx.Err()
+			return ctx.Err()
 		}
 	} else {
 		select {
 		case p.queue <- j:
 		case <-p.closedCh:
-			p.release(j)
-			return nil, ErrClosed
+			return ErrClosed
 		default:
 			p.stats.rejected.add(1)
-			p.release(j)
-			return nil, ErrQueueFull
+			return ErrQueueFull
 		}
 	}
-	p.stats.submitted.add(1)
-	return j, nil
+	return nil
 }
 
 // Stats snapshots the pool's counters.
@@ -252,11 +405,29 @@ func (p *Pool) Stats() Stats {
 	s.EngineBytesPerNode = p.lastMem.BytesPerNode
 	s.ArenaBytes = p.lastMem.ArenaBytes
 	p.memMu.Unlock()
+	s.TotalQueueWait = time.Duration(p.stats.queueWaitNs.get())
+	s.TotalRun = time.Duration(p.stats.runNs.get())
+	s.TotalHit = time.Duration(p.stats.hitNs.get())
 	if s.Served > 0 {
 		s.WarmHitRate = float64(s.WarmServes) / float64(s.Served)
 		s.AllocsPerRun = (mallocs() - p.baseMallocs) / s.Served
-		s.AvgQueueWait = time.Duration(p.stats.queueWaitNs.get() / int64(s.Served))
-		s.AvgRun = time.Duration(p.stats.runNs.get() / int64(s.Served))
+		s.AvgQueueWait = s.TotalQueueWait / time.Duration(s.Served)
+		s.AvgRun = s.TotalRun / time.Duration(s.Served)
+	}
+	s.CacheHits = p.stats.hits.get()
+	s.CacheMisses = p.stats.misses.get()
+	s.CacheShared = p.stats.shared.get()
+	if p.cache != nil {
+		cs := p.cache.Stats()
+		s.CacheEvictions = cs.Evictions
+		s.CacheBytes = cs.Bytes
+		s.CacheEntries = cs.Entries
+	}
+	if eligible := s.CacheHits + s.CacheMisses + s.CacheShared; eligible > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(eligible)
+	}
+	if s.CacheHits > 0 {
+		s.AvgHit = s.TotalHit / time.Duration(s.CacheHits)
 	}
 	return s
 }

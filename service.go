@@ -30,6 +30,15 @@ type ServiceOptions struct {
 	// ProgressEvery is the default tick granularity of per-job progress
 	// events; 0 picks the service-layer default (64).
 	ProgressEvery int
+	// CacheBytes bounds the content-addressed result cache: repeat
+	// submissions of an isomorphic (graph, root) pair under the service's
+	// run options are served from memory without an engine run, and
+	// concurrent identical requests collapse onto one run. 0 disables
+	// caching.
+	CacheBytes int64
+	// CacheShards is the cache's shard count (lock granularity); 0 picks
+	// the service-layer default (16).
+	CacheShards int
 }
 
 // JobOptions are per-job overrides for Service.Submit; the zero value
@@ -48,6 +57,9 @@ type JobOptions struct {
 	// ProgressEvery is the tick granularity of progress events; 0
 	// inherits the service's ProgressEvery, 1 reports every tick.
 	ProgressEvery int
+	// NoCache bypasses the service's result cache for this job: no lookup,
+	// no singleflight attachment, and the run's result is not stored.
+	NoCache bool
 }
 
 // Progress is a per-job progress event: ticks elapsed, instantaneous
@@ -65,6 +77,20 @@ const (
 	JobRunning  = service.StatusRunning
 	JobDone     = service.StatusDone
 	JobCanceled = service.StatusCanceled
+)
+
+// CacheState classifies how a submit met the result cache: CacheNone
+// (disabled or bypassed), CacheHit (served from memory, no engine run),
+// CacheMiss (this submit started the run that populates the cache), or
+// CacheShared (collapsed onto an identical run already in flight).
+type CacheState = service.CacheState
+
+// Cache states.
+const (
+	CacheNone   = service.CacheNone
+	CacheHit    = service.CacheHit
+	CacheMiss   = service.CacheMiss
+	CacheShared = service.CacheShared
 )
 
 // ServiceStats is a point-in-time snapshot of a service's counters: queue
@@ -101,6 +127,8 @@ func NewService(opts ServiceOptions) *Service {
 		Block:           opts.Block,
 		DefaultDeadline: opts.DefaultDeadline,
 		ProgressEvery:   opts.ProgressEvery,
+		CacheBytes:      opts.CacheBytes,
+		CacheShards:     opts.CacheShards,
 		Run:             opts.Options.coreOptions(&cfg),
 	})}
 }
@@ -115,6 +143,7 @@ func (s *Service) Submit(ctx context.Context, g *Graph, opts JobOptions) (*Job, 
 		Deadline:      opts.Deadline,
 		Progress:      opts.Progress,
 		ProgressEvery: opts.ProgressEvery,
+		NoCache:       opts.NoCache,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("topomap: %w", err)
@@ -177,6 +206,10 @@ func (j *Job) Cancel() { j.inner.Cancel() }
 
 // Status reports the job's lifecycle state.
 func (j *Job) Status() JobStatus { return j.inner.Status() }
+
+// CacheState reports how the submit met the result cache. Fixed at submit
+// time; a CacheHit job is already done when Submit returns.
+func (j *Job) CacheState() CacheState { return j.inner.CacheState() }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.inner.Done() }
