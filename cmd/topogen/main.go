@@ -1,15 +1,21 @@
-// Command topogen generates network topologies in the repository's
-// plain-text graph format (readable by topomap -in), validates them, and
-// reports their parameters.
+// Command topogen generates network topologies in the repository's graph
+// formats (readable by topomap -in), validates them, and reports their
+// parameters.
 //
 // Usage:
 //
 //	topogen -family random -n 40 -delta 3 -m 90 -seed 11 -out g.txt
 //	topogen -family treeloop -n 31 -seed 2           # Lemma 5.1 instance
+//	topogen -family kautz -n 96 -format binary -out g.tmg
 //	topogen -check -in g.txt                          # validate a file
+//
+// -format selects the output codec: text (the plain-text topomap-graph v1
+// format, default) or binary (the tmg1 frame, DESIGN.md §2.8). -check
+// accepts either — the codec is sniffed from the file's first bytes.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m      = fs.Int("m", 0, "edge target (random family; 0 = 2n)")
 		seed   = fs.Int64("seed", 1, "random seed")
 		out    = fs.String("out", "", "output file (default stdout)")
+		format = fs.String("format", "text", "output codec: text or binary")
 		in     = fs.String("in", "", "with -check: file to validate")
 		check  = fs.Bool("check", false, "validate a graph file and print its parameters")
 	)
@@ -45,6 +52,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "topogen: %v\n", err)
 		return 1
 	}
+	if *format != "text" && *format != "binary" {
+		fmt.Fprintf(stderr, "topogen: -format %q: want text or binary\n", *format)
+		return 2
+	}
 
 	if *check {
 		f, err := os.Open(*in)
@@ -52,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fatal(err)
 		}
 		defer f.Close()
-		g, err := graph.Unmarshal(f)
+		g, err := readGraph(f)
 		if err != nil {
 			return fatal(err)
 		}
@@ -90,10 +101,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		w = f
 	}
+	if *format == "binary" {
+		// The binary frame has no comment syntax; the parameters go to
+		// stderr so piping stays clean.
+		fmt.Fprintf(stderr, "topogen: %s n=%d seed=%d: N=%d delta=%d edges=%d diameter=%d\n",
+			*family, *n, *seed, g.N(), g.Delta(), g.NumEdges(), g.Diameter())
+		data, err := g.MarshalBinary()
+		if err != nil {
+			return fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			return fatal(err)
+		}
+		return 0
+	}
 	fmt.Fprintf(w, "# %s n=%d seed=%d: N=%d delta=%d edges=%d diameter=%d\n",
 		*family, *n, *seed, g.N(), g.Delta(), g.NumEdges(), g.Diameter())
 	if err := g.Marshal(w); err != nil {
 		return fatal(err)
 	}
 	return 0
+}
+
+// readGraph decodes a graph in either codec, sniffing the binary magic from
+// the first bytes.
+func readGraph(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	peek, _ := br.Peek(4)
+	if graph.IsBinaryGraph(peek) {
+		return graph.UnmarshalBinaryFrom(br, 0)
+	}
+	return graph.Unmarshal(br)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"topomap/internal/graph"
 )
 
 // TestGenerateAndCheckRoundTrip: generate a graph to a file, then validate
@@ -57,5 +59,58 @@ func TestGenBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
 		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}
+
+// TestGenerateBinaryAndCheck: -format binary emits a tmg1 frame that -check
+// sniffs and validates, and that decodes to the same graph as the text run.
+func TestGenerateBinaryAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.tmg")
+	txtPath := filepath.Join(dir, "g.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "kautz", "-n", "12", "-format", "binary", "-out", binPath}, &out, &errOut); code != 0 {
+		t.Fatalf("binary generate exit %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{"-family", "kautz", "-n", "12", "-out", txtPath}, &out, &errOut); code != 0 {
+		t.Fatalf("text generate exit %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsBinaryGraph(data) {
+		t.Fatalf("binary output missing tmg1 magic: % x", data[:8])
+	}
+	fromBin, err := graph.UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := graph.UnmarshalString(string(txt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromBin.Equal(fromTxt) {
+		t.Fatal("binary and text outputs decode to different graphs")
+	}
+
+	out.Reset()
+	if code := run([]string{"-check", "-in", binPath}, &out, &errOut); code != 0 {
+		t.Fatalf("-check on binary exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "valid:") {
+		t.Fatalf("-check output missing verdict:\n%s", out.String())
+	}
+}
+
+// TestGenBadFormat: an unknown -format is a usage error.
+func TestGenBadFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "xml"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad format should exit 2, got %d", code)
 	}
 }

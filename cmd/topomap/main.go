@@ -6,16 +6,20 @@
 //
 //	topomap -family kautz -n 24 [-root 3] [-seed 7] [-dot out.dot] [-trace] [-stats]
 //	topomap -in graph.txt [-root 0] ...
+//	topomap -in g.tmg -out mapped.tmg -format binary   # binary in and out
 //	topomap -family ba -n 48 -droprate 0.01 -crash 5@200 -stats   # fault injection
 //
 // The input graph comes either from a built-in family (-family/-n/-seed) or
-// from a file in the plain-text format emitted by topogen (-in). The fault
-// flags (-droprate, -faultseed, -crash) inject deterministic message loss
-// and fail-stop crashes; a faulted run typically ends in a deadlock or
+// from a file emitted by topogen (-in) — plain text or the tmg1 binary
+// frame, sniffed automatically. -out writes the reconstructed topology to a
+// file in the codec picked by -format (text or binary). The fault flags
+// (-droprate, -faultseed, -crash) inject deterministic message loss and
+// fail-stop crashes; a faulted run typically ends in a deadlock or
 // tick-budget error, which the command reports as a failure.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -43,8 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		family  = fs.String("family", "torus", "graph family (ring|biring|line|torus|kautz|debruijn|hypercube|random|treeloop|er|ba|astier|chordal)")
 		n       = fs.Int("n", 20, "approximate node count for the family")
 		seed    = fs.Int64("seed", 1, "seed for random families")
-		in      = fs.String("in", "", "read the graph from this file instead of generating one")
+		in      = fs.String("in", "", "read the graph from this file instead of generating one (text or binary, sniffed)")
 		root    = fs.Int("root", 0, "root processor index")
+		outPath = fs.String("out", "", "write the reconstructed topology to this file")
+		format  = fs.String("format", "text", "codec for -out: text or binary")
 		dot     = fs.String("dot", "", "write the mapped topology as Graphviz dot to this file")
 		showTr  = fs.Bool("trace", false, "print the protocol event timeline")
 		stats   = fs.Bool("stats", false, "print run statistics")
@@ -70,6 +76,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	policy, err := sim.ParseSchedPolicy(*sched)
 	if err != nil {
 		fmt.Fprintf(stderr, "topomap: %v\n", err)
+		return 2
+	}
+	if *format != "text" && *format != "binary" {
+		fmt.Fprintf(stderr, "topomap: -format %q: want text or binary\n", *format)
 		return 2
 	}
 
@@ -154,6 +164,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fatal(err)
 		}
 	}
+	if *outPath != "" {
+		if err := writeGraph(*outPath, *format, mapped); err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(stdout, "wrote %s (%s)\n", *outPath, *format)
+	}
 	if *dot != "" {
 		f, err := os.Create(*dot)
 		if err != nil {
@@ -203,7 +219,35 @@ func loadGraph(path, family string, n int, seed int64) (*graph.Graph, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return graph.Unmarshal(f)
+		br := bufio.NewReader(f)
+		peek, _ := br.Peek(4)
+		if graph.IsBinaryGraph(peek) {
+			return graph.UnmarshalBinaryFrom(br, 0)
+		}
+		return graph.Unmarshal(br)
 	}
 	return graph.Build(graph.Family(family), n, seed)
+}
+
+// writeGraph stores the reconstructed topology in the requested codec.
+func writeGraph(path, format string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "binary" {
+		data, err := g.MarshalBinary()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return err
+		}
+	} else if err := g.Marshal(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"topomap/internal/graph"
 )
 
 // TestMapRingEndToEnd: a tiny full protocol run through the CLI surface,
@@ -115,5 +117,65 @@ func TestMapBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
 		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}
+
+// TestBinaryInputAndOutput: a tmg1 input file is sniffed and mapped, and
+// -out/-format binary stores a reconstruction equal to the text one.
+func TestBinaryInputAndOutput(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.tmg")
+	g, err := graph.Build(graph.FamilyKautz, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outBin := filepath.Join(dir, "mapped.tmg")
+	outTxt := filepath.Join(dir, "mapped.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-in", inPath, "-out", outBin, "-format", "binary"}, &out, &errOut); code != 0 {
+		t.Fatalf("binary run exit %d, stderr: %s\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "EXACT") {
+		t.Fatalf("binary-input run not exact:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-in", inPath, "-out", outTxt}, &out, &errOut); code != 0 {
+		t.Fatalf("text run exit %d, stderr: %s", code, errOut.String())
+	}
+
+	binData, err := os.ReadFile(outBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := graph.UnmarshalBinary(binData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txtData, err := os.ReadFile(outTxt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := graph.UnmarshalString(string(txtData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromBin.Equal(fromTxt) {
+		t.Fatal("binary and text -out files decode to different topologies")
+	}
+}
+
+// TestMapBadFormat: an unknown -format is a usage error.
+func TestMapBadFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "json"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad format should exit 2, got %d", code)
 	}
 }

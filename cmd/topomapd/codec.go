@@ -1,0 +1,262 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"topomap/internal/graph"
+)
+
+// ContentTypeBinary is the media type of the binary codec, for both request
+// bodies (Content-Type) and negotiated responses (Accept).
+const contentTypeBinary = "application/x-topomap"
+
+// Request/response codec names, as exposed in the X-Topomap-Codec header
+// ("<in>/<out>") and the /stats counters.
+const (
+	codecText   = "text"
+	codecBinary = "binary"
+	codecFamily = "family" // generator shorthand: no body was decoded
+	codecJSON   = "json"
+)
+
+// codecStats counts the daemon's wire-codec traffic: requests by input
+// format, responses by output format, decode rejections, and payload bytes
+// both ways. All fields are atomics — the handlers bump them lock-free.
+type codecStats struct {
+	textRequests    atomic.Uint64
+	binaryRequests  atomic.Uint64
+	familyRequests  atomic.Uint64
+	decodeErrors    atomic.Uint64
+	jsonResponses   atomic.Uint64
+	binaryResponses atomic.Uint64
+	bytesIn         atomic.Uint64
+	bytesOut        atomic.Uint64
+}
+
+// countRequest bumps the input-format counter for one decoded request.
+func (c *codecStats) countRequest(codec string) {
+	switch codec {
+	case codecBinary:
+		c.binaryRequests.Add(1)
+	case codecFamily:
+		c.familyRequests.Add(1)
+	default:
+		c.textRequests.Add(1)
+	}
+}
+
+// countResponse bumps the output-format counter for one /map response.
+func (c *codecStats) countResponse(codec string) {
+	if codec == codecBinary {
+		c.binaryResponses.Add(1)
+	} else {
+		c.jsonResponses.Add(1)
+	}
+}
+
+// codecSnapshot is the JSON form of the codec counters in /stats.
+type codecSnapshot struct {
+	TextRequests    uint64 `json:"text_requests"`
+	BinaryRequests  uint64 `json:"binary_requests"`
+	FamilyRequests  uint64 `json:"family_requests"`
+	DecodeErrors    uint64 `json:"decode_errors"`
+	JSONResponses   uint64 `json:"json_responses"`
+	BinaryResponses uint64 `json:"binary_responses"`
+	BytesIn         uint64 `json:"bytes_in"`
+	BytesOut        uint64 `json:"bytes_out"`
+}
+
+func (c *codecStats) snapshot() codecSnapshot {
+	return codecSnapshot{
+		TextRequests:    c.textRequests.Load(),
+		BinaryRequests:  c.binaryRequests.Load(),
+		FamilyRequests:  c.familyRequests.Load(),
+		DecodeErrors:    c.decodeErrors.Load(),
+		JSONResponses:   c.jsonResponses.Load(),
+		BinaryResponses: c.binaryResponses.Load(),
+		BytesIn:         c.bytesIn.Load(),
+		BytesOut:        c.bytesOut.Load(),
+	}
+}
+
+// acceptsBinary reports whether the client negotiated a binary response.
+// Deliberately narrow: only an Accept header naming the topomap media type
+// opts in — wildcard Accepts keep the JSON default, so browsers and curl
+// without -H stay readable.
+func acceptsBinary(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, contentTypeBinary) {
+			return true
+		}
+	}
+	return false
+}
+
+// countingReader counts the bytes actually consumed from a request body, so
+// bytes_in reflects decoded payload rather than Content-Length claims.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingWriter wraps the response writer so bytes_out accounts every /map
+// response payload, JSON and binary alike. Flush passes through for the
+// streaming paths.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Binary result frame (DESIGN.md §2.8). All integers little-endian:
+//
+//	offset size field
+//	0      4    magic "tmr1"
+//	4      1    version (1)
+//	5      1    flags: bit0 exact, bit1 graph frame present
+//	6      2    δ — degree bound
+//	8      4    n — node count
+//	12     4    edges
+//	16     4    root
+//	20     4    ticks
+//	24     8    messages
+//	32     8    transactions
+//	40     8    elapsed_us
+//	48     8    graphlen — byte length of the trailing graph frame (0 when
+//	            absent)
+//	56     …    binary graph frame (graph.MarshalBinary), graphlen bytes
+//
+// Like the graph frame, the header fixes the total length, so the frame is
+// self-delimiting. The per-request scalars (root, elapsed) are written from
+// a stack buffer; the graph bytes are the cache entry's shared pre-encoded
+// slice — the zero-copy serving path writes no per-request copy of the
+// payload.
+const (
+	resultMagic      = "tmr1"
+	resultVersion    = 1
+	resultHeaderSize = 56
+
+	resultFlagExact = 1 << 0
+	resultFlagGraph = 1 << 1
+)
+
+// binaryResult is the decoded form of one tmr1 frame (mirror of mapResult).
+type binaryResult struct {
+	N, Delta, Edges int
+	Root, Ticks     int
+	Messages        int64
+	Transactions    int64
+	ElapsedUS       int64
+	Exact           bool
+	GraphBin        []byte // nil when the frame omitted the graph
+}
+
+// writeBinaryResult emits one tmr1 frame: the 56-byte header from a stack
+// buffer, then (optionally) the shared pre-encoded graph bytes.
+func writeBinaryResult(w io.Writer, br binaryResult, withGraph bool) error {
+	var hdr [resultHeaderSize]byte
+	copy(hdr[:4], resultMagic)
+	hdr[4] = resultVersion
+	if br.Exact {
+		hdr[5] |= resultFlagExact
+	}
+	if withGraph {
+		hdr[5] |= resultFlagGraph
+	}
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(br.Delta))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(br.N))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(br.Edges))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(br.Root))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(br.Ticks))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(br.Messages))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(br.Transactions))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(br.ElapsedUS))
+	if withGraph {
+		binary.LittleEndian.PutUint64(hdr[48:], uint64(len(br.GraphBin)))
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if withGraph {
+		_, err := w.Write(br.GraphBin)
+		return err
+	}
+	return nil
+}
+
+// parseBinaryResult decodes one tmr1 frame (client side and tests).
+func parseBinaryResult(data []byte) (binaryResult, error) {
+	var br binaryResult
+	if len(data) < resultHeaderSize {
+		return br, fmt.Errorf("result frame truncated at %d bytes", len(data))
+	}
+	if string(data[:4]) != resultMagic {
+		return br, fmt.Errorf("bad result magic %q", data[:4])
+	}
+	if data[4] != resultVersion {
+		return br, fmt.Errorf("unsupported result version %d", data[4])
+	}
+	br.Exact = data[5]&resultFlagExact != 0
+	br.Delta = int(binary.LittleEndian.Uint16(data[6:]))
+	br.N = int(binary.LittleEndian.Uint32(data[8:]))
+	br.Edges = int(binary.LittleEndian.Uint32(data[12:]))
+	br.Root = int(binary.LittleEndian.Uint32(data[16:]))
+	br.Ticks = int(binary.LittleEndian.Uint32(data[20:]))
+	br.Messages = int64(binary.LittleEndian.Uint64(data[24:]))
+	br.Transactions = int64(binary.LittleEndian.Uint64(data[32:]))
+	br.ElapsedUS = int64(binary.LittleEndian.Uint64(data[40:]))
+	glen := binary.LittleEndian.Uint64(data[48:])
+	rest := data[resultHeaderSize:]
+	if data[5]&resultFlagGraph == 0 {
+		if glen != 0 || len(rest) != 0 {
+			return br, fmt.Errorf("graph-less frame carries %d payload bytes", len(rest))
+		}
+		return br, nil
+	}
+	if uint64(len(rest)) != glen {
+		return br, fmt.Errorf("frame declares %d graph bytes, carries %d", glen, len(rest))
+	}
+	br.GraphBin = rest
+	return br, nil
+}
+
+// elapsedUS converts a request's wall-clock to the frame's microsecond
+// field.
+func elapsedUS(start time.Time) int64 { return time.Since(start).Microseconds() }
+
+// sniffBinaryBody reports whether the request declares or carries a binary
+// graph: an explicit Content-Type wins, otherwise the first bytes are
+// sniffed for the tmg1 magic.
+func sniffBinaryBody(ct string, peek []byte) bool {
+	if mt := strings.TrimSpace(strings.SplitN(ct, ";", 2)[0]); strings.EqualFold(mt, contentTypeBinary) {
+		return true
+	}
+	return graph.IsBinaryGraph(peek)
+}

@@ -10,13 +10,19 @@
 //
 // Endpoints:
 //
-//	POST /map      Map the graph in the request body (the plain-text
-//	               graph.Marshal format emitted by topogen). Query
-//	               parameters: root (default 0), deadline (Go duration),
-//	               stream=sse|ndjson (progress streaming; default is one
-//	               JSON result), every (ticks between progress events),
-//	               graph=0 (omit the reconstruction text from the result),
-//	               nocache=1 (bypass the result cache for this request).
+//	POST /map      Map the graph in the request body — the plain-text
+//	               graph.Marshal format emitted by topogen, or the binary
+//	               codec (Content-Type: application/x-topomap, or sniffed
+//	               from the tmg1 magic). Query parameters: root (default
+//	               0), deadline (Go duration), stream=sse|ndjson (progress
+//	               streaming; default is one JSON result), every (ticks
+//	               between progress events), graph=0 (omit the
+//	               reconstruction from the result), nocache=1 (bypass the
+//	               result cache for this request). An Accept header naming
+//	               application/x-topomap negotiates a binary result frame
+//	               instead of JSON (sync path only; streaming plus binary
+//	               Accept answers 406). Every response carries
+//	               X-Topomap-Codec: <in>/<out>.
 //	GET|POST /map  ?family=ring&n=64&seed=1 — generator shorthand: build a
 //	               member of a built-in family instead of posting a body.
 //	               Families: ring, biring, line, torus, kautz, debruijn,
@@ -24,8 +30,8 @@
 //	               (Barabási–Albert), astier (AS/BGP tiers), chordal
 //	               (chordal k-ring).
 //	GET /stats     Pool statistics (queue depth, warm-hit rate, runs
-//	               served, allocs/run, cache counters, latency means) as
-//	               JSON.
+//	               served, allocs/run, cache counters, codec counters,
+//	               latency means) as JSON.
 //	GET /metrics   The same statistics in the Prometheus text exposition
 //	               format.
 //	GET /healthz   Liveness probe.
@@ -35,6 +41,9 @@
 // answered from memory without an engine run, and concurrent identical
 // requests collapse onto one run. Every /map response carries an
 // X-Topomap-Cache header (hit, miss, or shared) when the cache is on.
+// Cache hits on the sync path are served zero-copy: the entry stores the
+// result pre-encoded in both codecs, so a hit writes stored bytes — no
+// re-encode, no per-request graph copy.
 //
 // The daemon applies backpressure explicitly: when the job queue is full,
 // /map answers 503 (with Retry-After) rather than queueing unboundedly —
@@ -47,6 +56,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -180,6 +190,7 @@ type server struct {
 	cfg     serverConfig
 	mux     *http.ServeMux
 	started time.Time
+	codec   codecStats
 }
 
 // newServer builds the handler and its service pool. Callers own svc.Close.
@@ -219,8 +230,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsResponse embeds the service counters (flat, so existing consumers
+// decoding into topomap.ServiceStats keep working) and adds the daemon's
+// codec counters under "codec".
+type statsResponse struct {
+	topomap.ServiceStats
+	Codec codecSnapshot `json:"codec"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{
+		ServiceStats: s.svc.Stats(),
+		Codec:        s.codec.snapshot(),
+	})
 }
 
 // progressEvent is the wire form of one streamed progress update.
@@ -253,11 +275,19 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query()
 
-	g, err := s.loadGraph(r)
+	// Every /map response payload is accounted in bytes_out, JSON, binary,
+	// and streamed alike.
+	cw := &countingWriter{ResponseWriter: w}
+	w = cw
+	defer func() { s.codec.bytesOut.Add(uint64(cw.n)) }()
+
+	g, inCodec, err := s.loadGraph(r)
 	if err != nil {
+		s.codec.decodeErrors.Add(1)
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.codec.countRequest(inCodec)
 	if g.N() > s.cfg.MaxNodes {
 		httpError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("graph has %d nodes, limit is %d", g.N(), s.cfg.MaxNodes))
@@ -291,9 +321,23 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	jobOpts.NoCache = q.Get("nocache") == "1"
 	withGraph := q.Get("graph") != "0"
 
-	switch q.Get("stream") {
+	outCodec := codecJSON
+	if acceptsBinary(r) {
+		outCodec = codecBinary
+	}
+	stream := q.Get("stream")
+	if stream != "" && outCodec == codecBinary {
+		// The progress stream is a JSON event protocol; binary negotiation
+		// has no framing there. Refuse explicitly rather than downgrade.
+		httpError(w, http.StatusNotAcceptable, "binary responses are sync-only; drop stream= or the Accept header")
+		return
+	}
+	w.Header().Set("X-Topomap-Codec", inCodec+"/"+outCodec)
+	s.codec.countResponse(outCodec)
+
+	switch stream {
 	case "":
-		s.serveOnce(w, r, g, root, jobOpts, withGraph)
+		s.serveOnce(w, r, g, root, jobOpts, withGraph, outCodec == codecBinary)
 	case "sse":
 		s.serveStream(w, r, g, root, jobOpts, withGraph, streamSSE)
 	case "ndjson":
@@ -304,34 +348,36 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 }
 
 // loadGraph resolves the request's graph: the generator shorthand
-// (?family=...&n=...&seed=...) or the posted graph text.
-func (s *server) loadGraph(r *http.Request) (*topomap.Graph, error) {
+// (?family=...&n=...&seed=...) or the posted body, decoded by whichever
+// codec the request declares (Content-Type) or carries (magic sniff). The
+// returned codec name feeds the X-Topomap-Codec header and the counters.
+func (s *server) loadGraph(r *http.Request) (*topomap.Graph, string, error) {
 	q := r.URL.Query()
 	if fam := q.Get("family"); fam != "" {
 		n := 24
 		var err error
 		if v := q.Get("n"); v != "" {
 			if n, err = strconv.Atoi(v); err != nil {
-				return nil, fmt.Errorf("bad n %q", v)
+				return nil, codecFamily, fmt.Errorf("bad n %q", v)
 			}
 		}
 		if n < 2 || n > s.cfg.MaxNodes {
-			return nil, fmt.Errorf("n=%d out of range [2,%d]", n, s.cfg.MaxNodes)
+			return nil, codecFamily, fmt.Errorf("n=%d out of range [2,%d]", n, s.cfg.MaxNodes)
 		}
 		var seed int64 = 1
 		if v := q.Get("seed"); v != "" {
 			if seed, err = strconv.ParseInt(v, 10, 64); err != nil {
-				return nil, fmt.Errorf("bad seed %q", v)
+				return nil, codecFamily, fmt.Errorf("bad seed %q", v)
 			}
 		}
 		g, err := graph.Build(graph.Family(fam), n, seed)
 		if err != nil {
-			return nil, err
+			return nil, codecFamily, err
 		}
-		return g, nil
+		return g, codecFamily, nil
 	}
 	if r.Body == nil {
-		return nil, errors.New("post a graph in the topomap-graph v1 format, or use ?family=")
+		return nil, codecText, errors.New("post a graph in the topomap-graph v1 or binary format, or use ?family=")
 	}
 	// The decode limit follows the operator's -maxnodes knob (δ ≤ 255 by
 	// the format), so the allocation guard and the node-count policy are
@@ -340,16 +386,37 @@ func (s *server) loadGraph(r *http.Request) (*topomap.Graph, error) {
 	if mn := s.cfg.MaxNodes; mn > 0 && mn < math.MaxInt/255 {
 		maxPorts = mn * 255
 	}
-	g, err := graph.UnmarshalLimit(io.LimitReader(r.Body, maxBodyBytes), maxPorts)
-	if err != nil {
-		return nil, err
+	body := &countingReader{r: io.LimitReader(r.Body, maxBodyBytes)}
+	defer func() { s.codec.bytesIn.Add(uint64(body.n)) }()
+	br := bufio.NewReader(body)
+	peek, _ := br.Peek(4)
+	if sniffBinaryBody(r.Header.Get("Content-Type"), peek) {
+		g, err := graph.UnmarshalBinaryFrom(br, maxPorts)
+		if err != nil {
+			return nil, codecBinary, err
+		}
+		return g, codecBinary, nil
 	}
-	return g, nil
+	g, err := graph.UnmarshalLimit(br, maxPorts)
+	if err != nil {
+		return nil, codecText, err
+	}
+	return g, codecText, nil
 }
 
-// serveOnce maps the graph and answers with a single JSON result.
-func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Graph, root int, jobOpts topomap.JobOptions, withGraph bool) {
+// serveOnce maps the graph and answers with a single result — JSON or a
+// binary tmr1 frame, per negotiation. Cache hits take the zero-copy fast
+// path: Service.Lookup (no job, no queue), then the entry's pre-encoded
+// bytes go straight to the socket.
+func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Graph, root int, jobOpts topomap.JobOptions, withGraph, outBinary bool) {
 	start := time.Now()
+	if !jobOpts.NoCache {
+		if ent := s.svc.Lookup(g, root); ent != nil {
+			w.Header().Set("X-Topomap-Cache", "hit")
+			s.writeResult(w, ent, root, start, withGraph, outBinary)
+			return
+		}
+	}
 	j, err := s.svc.Submit(r.Context(), g, jobOpts)
 	if err != nil {
 		submitError(w, err)
@@ -361,7 +428,93 @@ func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Gr
 		runError(w, err)
 		return
 	}
+	if ent := j.Cached(); ent != nil {
+		// Miss and shared paths reuse the entry the flight just populated:
+		// the encode (and the O(N) verification) already happened, once.
+		s.writeResult(w, ent, root, start, withGraph, outBinary)
+		return
+	}
+	// Cache off or bypassed: encode and verify per request, as always.
+	if outBinary {
+		s.writeBinary(w, binaryResultOf(g, root, res, start), res.Topology, withGraph)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.result(g, root, res, start, withGraph))
+}
+
+// writeResult serves a response from a cache entry: stored verification
+// verdict, stored wire bytes, no re-encode.
+func (s *server) writeResult(w http.ResponseWriter, ent *topomap.CachedResult, root int, start time.Time, withGraph, outBinary bool) {
+	res := ent.Result()
+	if outBinary {
+		br := binaryResult{
+			N:            res.Topology.N(),
+			Delta:        res.Topology.Delta(),
+			Edges:        ent.Edges(),
+			Root:         root,
+			Ticks:        res.Ticks,
+			Messages:     res.Messages,
+			Transactions: int64(res.Transactions),
+			ElapsedUS:    elapsedUS(start),
+			Exact:        ent.Exact(),
+			GraphBin:     ent.Binary(),
+		}
+		if br.GraphBin == nil && withGraph {
+			// Beyond the binary codec's node bound (unreachable through the
+			// daemon's own limits, but the entry contract allows it).
+			httpError(w, http.StatusNotAcceptable, "topology exceeds the binary codec's node bound")
+			return
+		}
+		w.Header().Set("Content-Type", contentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_ = writeBinaryResult(w, br, withGraph)
+		return
+	}
+	out := mapResult{
+		N:            res.Topology.N(),
+		Delta:        res.Topology.Delta(),
+		Edges:        ent.Edges(),
+		Root:         root,
+		Ticks:        res.Ticks,
+		Messages:     res.Messages,
+		Transactions: res.Transactions,
+		Exact:        ent.Exact(),
+		ElapsedMS:    time.Since(start).Milliseconds(),
+	}
+	if withGraph {
+		out.Graph = ent.Text()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// binaryResultOf assembles a tmr1 frame's scalars for the uncached path.
+func binaryResultOf(g *topomap.Graph, root int, res *topomap.Result, start time.Time) binaryResult {
+	return binaryResult{
+		N:            res.Topology.N(),
+		Delta:        res.Topology.Delta(),
+		Edges:        res.Topology.NumEdges(),
+		Root:         root,
+		Ticks:        res.Ticks,
+		Messages:     res.Messages,
+		Transactions: int64(res.Transactions),
+		ElapsedUS:    elapsedUS(start),
+		Exact:        topomap.Verify(g, root, res.Topology),
+	}
+}
+
+// writeBinary encodes the topology (uncached path) and emits the frame.
+func (s *server) writeBinary(w http.ResponseWriter, br binaryResult, topo *topomap.Graph, withGraph bool) {
+	if withGraph {
+		bin, err := topo.MarshalBinary()
+		if err != nil {
+			httpError(w, http.StatusNotAcceptable, err.Error())
+			return
+		}
+		br.GraphBin = bin
+	}
+	w.Header().Set("Content-Type", contentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	_ = writeBinaryResult(w, br, withGraph)
 }
 
 // setCacheHeader stamps the response with how the job met the result cache;
@@ -440,6 +593,26 @@ func (s *server) serveStream(w http.ResponseWriter, r *http.Request, g *topomap.
 			res, err := j.Await(r.Context())
 			if err != nil {
 				emit("error", map[string]string{"error": err.Error()})
+				return
+			}
+			if ent := j.Cached(); ent != nil {
+				// The flight's entry carries the verification verdict and
+				// the encoded text — skip the per-request O(N) verify.
+				out := mapResult{
+					N:            res.Topology.N(),
+					Delta:        res.Topology.Delta(),
+					Edges:        ent.Edges(),
+					Root:         root,
+					Ticks:        res.Ticks,
+					Messages:     res.Messages,
+					Transactions: res.Transactions,
+					Exact:        ent.Exact(),
+					ElapsedMS:    time.Since(start).Milliseconds(),
+				}
+				if withGraph {
+					out.Graph = ent.Text()
+				}
+				emit("result", out)
 				return
 			}
 			emit("result", s.result(g, root, res, start, withGraph))

@@ -40,6 +40,22 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("topomapd_runs_panicked_total", "Runs that panicked (session rebuilt).", st.Panics)
 	counter("topomapd_warm_serves_total", "Runs served on an already-warm session.", st.WarmServes)
 
+	cs := s.codec.snapshot()
+	fmt.Fprintf(&b, "# HELP topomapd_codec_requests_total Decoded /map requests by input codec.\n"+
+		"# TYPE topomapd_codec_requests_total counter\n"+
+		"topomapd_codec_requests_total{codec=\"text\"} %d\n"+
+		"topomapd_codec_requests_total{codec=\"binary\"} %d\n"+
+		"topomapd_codec_requests_total{codec=\"family\"} %d\n",
+		cs.TextRequests, cs.BinaryRequests, cs.FamilyRequests)
+	fmt.Fprintf(&b, "# HELP topomapd_codec_responses_total /map responses by output codec.\n"+
+		"# TYPE topomapd_codec_responses_total counter\n"+
+		"topomapd_codec_responses_total{codec=\"json\"} %d\n"+
+		"topomapd_codec_responses_total{codec=\"binary\"} %d\n",
+		cs.JSONResponses, cs.BinaryResponses)
+	counter("topomapd_codec_decode_errors_total", "Request bodies rejected by the graph codecs.", cs.DecodeErrors)
+	counter("topomapd_codec_bytes_in_total", "Request payload bytes consumed by the codecs.", cs.BytesIn)
+	counter("topomapd_codec_bytes_out_total", "Response payload bytes written by /map.", cs.BytesOut)
+
 	counter("topomapd_cache_hits_total", "Submits served from the result cache.", st.CacheHits)
 	counter("topomapd_cache_misses_total", "Submits that started a fresh engine run.", st.CacheMisses)
 	counter("topomapd_cache_shared_total", "Submits collapsed onto an in-flight run.", st.CacheShared)

@@ -144,6 +144,7 @@ var registry = []struct {
 	{"e17", E17Hostile},
 	{"e18", E18Scale},
 	{"e19", E19CachedServing},
+	{"e20", E20WireCodec},
 }
 
 // IDs lists experiment identifiers in order.

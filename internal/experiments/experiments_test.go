@@ -283,6 +283,41 @@ func checkInvariants(t *testing.T, id string, table *Table) {
 		if headlines != 1 {
 			t.Errorf("E19 has %d headline rows, want 1", headlines)
 		}
+	case "e20":
+		// The wire-codec acceptance gate, at CI-robust thresholds: every
+		// round-trip and identity check clean, binary decode ≥2× text on
+		// every decode row (the Full-scale N=1e5 bound of ≥5× is checked by
+		// the benchmark suite), the fast-path serve row ≥1.5× the JSON
+		// pipeline with single-digit allocations per hit.
+		mode, ratio := col(table, "mode"), col(table, "ratio")
+		allocs, ok := col(table, "allocs/hit"), col(table, "ok")
+		serves := 0
+		for _, row := range table.Rows {
+			if row[ok] != "yes" {
+				t.Errorf("E20 round-trip/identity failure: %v", row)
+			}
+			v, err := strconv.ParseFloat(row[ratio], 64)
+			if err != nil {
+				t.Fatalf("E20 ratio %q", row[ratio])
+			}
+			switch row[mode] {
+			case "decode":
+				if v < 2 {
+					t.Errorf("E20 binary decode only %.2f× text: %v", v, row)
+				}
+			case "serve":
+				serves++
+				if v < 1.5 {
+					t.Errorf("E20 fast-path serve only %.2f× the JSON pipeline: %v", v, row)
+				}
+				if a, _ := strconv.ParseFloat(row[allocs], 64); a > 10 {
+					t.Errorf("E20 fast path allocates %.1f per hit: %v", a, row)
+				}
+			}
+		}
+		if serves != 1 {
+			t.Errorf("E20 has %d serve rows, want 1", serves)
+		}
 	case "e14":
 		// Dense and sparse scheduling must be observationally identical
 		// on every row, and at N=1024 the sparse scheduler must examine

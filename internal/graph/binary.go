@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Binary wire format (DESIGN.md §2.8). All integers are little-endian.
+//
+//	offset size  field
+//	0      4     magic "tmg1"
+//	4      1     version (1)
+//	5      1     δ — degree bound (1..255)
+//	6      2     reserved, must be zero
+//	8      4     n — node count
+//	12     4     m — wired-edge count (integrity check)
+//	16     4·n·δ out-adjacency words, node-major, out-port-minor:
+//	             word = to<<8 | inPort — 24-bit target node plus 8-bit
+//	             1-based in-port, the engine's §2.6 route packing; a zero
+//	             word (in-port 0 is outside 1..δ) marks an unwired port.
+//
+// The header fixes the payload length exactly — a frame is always
+// BinaryHeaderSize + 4·n·δ bytes — so the encoding is length-prefixed and
+// self-delimiting: readers never scan for a terminator, and a stream can
+// carry back-to-back frames. Only the out side is encoded; the in side is
+// its inverse and is rebuilt (and cross-checked) during decode.
+
+const (
+	binaryVersion = 1
+
+	// BinaryHeaderSize is the fixed byte length of the binary-codec header.
+	BinaryHeaderSize = 16
+
+	// MaxBinaryNodes is the largest node count the binary codec can
+	// address: targets are packed into 24 bits, the same bound as the
+	// engine's packed route words (sim.MaxNodes).
+	MaxBinaryNodes = 1 << 24
+)
+
+// binaryMagic opens every binary graph frame.
+var binaryMagic = [4]byte{'t', 'm', 'g', '1'}
+
+// IsBinaryGraph reports whether data opens with the binary graph magic —
+// the sniff surfaces (daemon bodies, -in files) use it to pick a codec
+// without a declared content type.
+func IsBinaryGraph(data []byte) bool {
+	return len(data) >= 4 && data[0] == 't' && data[1] == 'm' && data[2] == 'g' && data[3] == '1'
+}
+
+// BinarySize returns the exact encoded length of g in the binary codec.
+func (g *Graph) BinarySize() int {
+	return BinaryHeaderSize + 4*g.N()*g.delta
+}
+
+// AppendBinary appends the binary encoding of g to dst and returns the
+// extended slice. It is MarshalBinary for callers that pool or pre-size
+// their buffers; the append is the only potential allocation.
+func (g *Graph) AppendBinary(dst []byte) ([]byte, error) {
+	n := g.N()
+	if n > MaxBinaryNodes {
+		return dst, fmt.Errorf("graph: binary: %d nodes exceed the %d-node codec bound", n, MaxBinaryNodes)
+	}
+	at := len(dst)
+	need := g.BinarySize()
+	if cap(dst)-at < need {
+		grown := make([]byte, at, at+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:at+need]
+	hdr := dst[at:]
+	copy(hdr, binaryMagic[:])
+	hdr[4] = binaryVersion
+	hdr[5] = byte(g.delta)
+	hdr[6], hdr[7] = 0, 0
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(n))
+	edges := 0
+	w := BinaryHeaderSize
+	for v := 0; v < n; v++ {
+		row := g.out[v]
+		for p := 0; p < g.delta; p++ {
+			var word uint32
+			if e := row[p]; e.Node != NoPort {
+				word = uint32(e.Node)<<8 | uint32(e.Port)
+				edges++
+			}
+			binary.LittleEndian.PutUint32(hdr[w:], word)
+			w += 4
+		}
+	}
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(edges))
+	return dst, nil
+}
+
+// MarshalBinary encodes g in the binary wire format. It implements
+// encoding.BinaryMarshaler; the returned slice is freshly allocated.
+func (g *Graph) MarshalBinary() ([]byte, error) {
+	return g.AppendBinary(make([]byte, 0, g.BinarySize()))
+}
+
+// UnmarshalBinary decodes a binary graph frame under the default decode
+// limit. Inputs are treated as untrusted exactly like the text codec's:
+// malformed headers, oversized declarations, and inconsistent adjacency are
+// rejected with errors, never panics (fuzzed by FuzzUnmarshalBinary).
+func UnmarshalBinary(data []byte) (*Graph, error) {
+	return UnmarshalBinaryLimit(data, 0)
+}
+
+// UnmarshalBinaryLimit is UnmarshalBinary with an explicit bound on the
+// port-table size (n·δ) a header may declare; maxPorts ≤ 0 selects
+// DefaultUnmarshalPorts. The frame must be exact: trailing bytes after the
+// declared payload are an error.
+func UnmarshalBinaryLimit(data []byte, maxPorts int) (*Graph, error) {
+	n, delta, m, err := parseBinaryHeader(data, maxPorts)
+	if err != nil {
+		return nil, err
+	}
+	payload := data[BinaryHeaderSize:]
+	if len(payload) != 4*n*delta {
+		return nil, fmt.Errorf("graph: binary: frame is %d bytes, header declares %d (n=%d δ=%d)",
+			len(data), BinaryHeaderSize+4*n*delta, n, delta)
+	}
+	return decodeBinaryPayload(n, delta, m, payload)
+}
+
+// binReadPool recycles payload read buffers for the streaming decode path.
+// Oversized buffers are not returned to the pool, so a single huge frame
+// cannot pin its allocation forever.
+var binReadPool = sync.Pool{New: func() any { b := make([]byte, 0, 1<<16); return &b }}
+
+const binReadPoolCap = 4 << 20
+
+// UnmarshalBinaryFrom decodes one binary graph frame from r: the fixed
+// header first (which bounds the payload exactly), then the adjacency words
+// into a pooled buffer. This is the daemon's streaming entry point — the
+// declared size is validated against maxPorts before any payload allocation,
+// and steady-state decodes allocate only the graph itself.
+func UnmarshalBinaryFrom(r io.Reader, maxPorts int) (*Graph, error) {
+	var hdr [BinaryHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: binary: short header: %v", err)
+	}
+	n, delta, m, err := parseBinaryHeader(hdr[:], maxPorts)
+	if err != nil {
+		return nil, err
+	}
+	need := 4 * n * delta
+	bufp := binReadPool.Get().(*[]byte)
+	if cap(*bufp) < need {
+		*bufp = make([]byte, need)
+	}
+	payload := (*bufp)[:need]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		binReadPool.Put(bufp)
+		return nil, fmt.Errorf("graph: binary: short payload: %v", err)
+	}
+	g, err := decodeBinaryPayload(n, delta, m, payload)
+	if cap(*bufp) <= binReadPoolCap {
+		binReadPool.Put(bufp)
+	}
+	return g, err
+}
+
+// parseBinaryHeader validates the fixed header and the declared sizes
+// against the decode limit, before any payload-sized allocation.
+func parseBinaryHeader(hdr []byte, maxPorts int) (n, delta int, m uint32, err error) {
+	if len(hdr) < BinaryHeaderSize {
+		return 0, 0, 0, fmt.Errorf("graph: binary: truncated header (%d bytes)", len(hdr))
+	}
+	if !IsBinaryGraph(hdr) {
+		return 0, 0, 0, fmt.Errorf("graph: binary: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != binaryVersion {
+		return 0, 0, 0, fmt.Errorf("graph: binary: unsupported version %d", hdr[4])
+	}
+	delta = int(hdr[5])
+	if delta < 1 {
+		return 0, 0, 0, fmt.Errorf("graph: binary: invalid degree bound %d", delta)
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return 0, 0, 0, fmt.Errorf("graph: binary: nonzero reserved bytes")
+	}
+	un := binary.LittleEndian.Uint32(hdr[8:])
+	if un > MaxBinaryNodes {
+		return 0, 0, 0, fmt.Errorf("graph: binary: %d nodes exceed the %d-node codec bound", un, MaxBinaryNodes)
+	}
+	n = int(un)
+	if maxPorts <= 0 {
+		maxPorts = DefaultUnmarshalPorts
+	}
+	if n > maxPorts/delta {
+		return 0, 0, 0, fmt.Errorf("graph: binary: declared size n=%d delta=%d exceeds the %d-port decode limit",
+			n, delta, maxPorts)
+	}
+	return n, delta, binary.LittleEndian.Uint32(hdr[12:]), nil
+}
+
+// decodeBinaryPayload rebuilds the graph from the packed out-adjacency,
+// deriving and cross-checking the in side word by word. It writes the port
+// tables directly — the graph's single flat allocation is the decode cost —
+// and enforces every Connect invariant (range, no self-loop, no double
+// wiring) plus the header's edge count.
+func decodeBinaryPayload(n, delta int, m uint32, payload []byte) (*Graph, error) {
+	g, flat := newDecodeTarget(n, delta)
+	flatOut, flatIn := flat[:n*delta], flat[n*delta:]
+	edges := uint32(0)
+	w, v, p := 0, 0, 0
+	for i := range flatOut {
+		word := binary.LittleEndian.Uint32(payload[w:])
+		w += 4
+		if word != 0 {
+			to, ip := int(word>>8), int(word&0xff)
+			switch {
+			case to >= n:
+				return nil, fmt.Errorf("graph: binary: byte %d: out-port %d of node %d targets node %d of %d",
+					BinaryHeaderSize+4*i, p+1, v, to, n)
+			case to == v:
+				return nil, fmt.Errorf("graph: binary: byte %d: self-loop at node %d", BinaryHeaderSize+4*i, v)
+			case ip < 1 || ip > delta:
+				return nil, fmt.Errorf("graph: binary: byte %d: in-port %d of node %d out of range 1..%d",
+					BinaryHeaderSize+4*i, ip, to, delta)
+			}
+			idx := to*delta + ip - 1
+			if flatIn[idx].Port != 0 {
+				return nil, fmt.Errorf("graph: binary: byte %d: in-port %d of node %d already wired",
+					BinaryHeaderSize+4*i, ip, to)
+			}
+			flatOut[i] = Endpoint{to, ip}
+			flatIn[idx] = Endpoint{v, p + 1}
+			edges++
+		} else {
+			flatOut[i] = Endpoint{NoPort, NoPort}
+		}
+		if p++; p == delta {
+			p, v = 0, v+1
+		}
+	}
+	if edges != m {
+		return nil, fmt.Errorf("graph: binary: header declares %d edges, payload wires %d", m, edges)
+	}
+	// Unwired in-slots are still the zero value; swap in the NoPort
+	// sentinel the Graph API promises. A fully-wired frame — the common
+	// case for the model's families — skips the pass outright.
+	if int(edges) != len(flatIn) {
+		for i := range flatIn {
+			if flatIn[i].Port == 0 {
+				flatIn[i] = Endpoint{NoPort, NoPort}
+			}
+		}
+	}
+	return g, nil
+}
+
+// newDecodeTarget is New without the sentinel pass: the decode loop writes
+// every out slot exactly once (wired word or NoPort sentinel), and the in
+// side uses the freshly-zeroed table directly — a wired in-slot always has
+// Port ≥ 1, so Port == 0 marks "unwired" until the caller's fix-up swaps
+// NoPort sentinels into whatever stayed empty. At N=1e5·δ=4 the skipped
+// init passes are a measurable slice of decode time. Callers must not leak
+// the graph on a decode error. The flat backing is returned so the decode
+// loop can index ports without per-row slice-header loads.
+func newDecodeTarget(n, delta int) (*Graph, []Endpoint) {
+	g := &Graph{delta: delta}
+	g.out = make([][]Endpoint, n)
+	g.in = make([][]Endpoint, n)
+	flat := make([]Endpoint, 2*n*delta)
+	for v := 0; v < n; v++ {
+		lo := v * delta
+		g.out[v] = flat[lo : lo+delta : lo+delta]
+		g.in[v] = flat[n*delta+lo : n*delta+lo+delta : n*delta+lo+delta]
+	}
+	return g, flat
+}

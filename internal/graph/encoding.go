@@ -2,8 +2,10 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -15,23 +17,53 @@ import (
 //	...
 //
 // Lines starting with '#' are comments. The format is stable and diff-able,
-// and is understood by cmd/topomap and cmd/topogen.
+// and is understood by cmd/topomap and cmd/topogen. The writer batches into
+// one reused chunk buffer — no per-edge formatting allocations and no
+// materialised edge slice.
 func (g *Graph) Marshal(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "topomap-graph v1\nnodes %d delta %d\n", g.N(), g.delta); err != nil {
-		return err
+	buf := make([]byte, 0, 64*1024)
+	buf = append(buf, "topomap-graph v1\nnodes "...)
+	buf = strconv.AppendInt(buf, int64(g.N()), 10)
+	buf = append(buf, " delta "...)
+	buf = strconv.AppendInt(buf, int64(g.delta), 10)
+	buf = append(buf, '\n')
+	for v := 0; v < g.N(); v++ {
+		row := g.out[v]
+		for p := 0; p < g.delta; p++ {
+			e := row[p]
+			if e.Node == NoPort {
+				continue
+			}
+			buf = append(buf, "edge "...)
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(p+1), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(e.Node), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(e.Port), 10)
+			buf = append(buf, '\n')
+		}
+		if len(buf) >= 63*1024 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
 	}
-	for _, e := range g.Edges() {
-		if _, err := fmt.Fprintf(bw, "edge %d %d %d %d\n", e.From, e.OutPort, e.To, e.InPort); err != nil {
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // MarshalString returns the Marshal output as a string.
 func (g *Graph) MarshalString() string {
 	var b strings.Builder
+	dn, dp := decimalDigits(g.N()), decimalDigits(g.delta)
+	b.Grow(40 + g.NumEdges()*(9+2*dn+2*dp))
 	if err := g.Marshal(&b); err != nil {
 		panic(err) // strings.Builder cannot fail
 	}
@@ -46,12 +78,14 @@ func (g *Graph) MarshalString() string {
 // orders of magnitude above the largest graph any experiment builds while
 // still accepting any realistic Marshal output; surfaces with their own
 // size policy (cmd/topomapd derives one from -maxnodes) use UnmarshalLimit.
+// The binary codec shares the limit.
 const DefaultUnmarshalPorts = 1 << 24
 
 // Unmarshal parses the plain-text graph format produced by Marshal. Inputs
 // are treated as untrusted: malformed headers, oversized declarations
 // (beyond DefaultUnmarshalPorts), and inconsistent port tables are rejected
-// with errors, never panics (fuzzed).
+// with errors, never panics (fuzzed). Errors locate the malformed token by
+// line number and byte offset.
 func Unmarshal(r io.Reader) (*Graph, error) {
 	return UnmarshalLimit(r, DefaultUnmarshalPorts)
 }
@@ -59,57 +93,104 @@ func Unmarshal(r io.Reader) (*Graph, error) {
 // UnmarshalLimit is Unmarshal with an explicit bound on the port-table size
 // (n·δ) a header may declare, for surfaces whose exposure is configured by
 // the operator; maxPorts ≤ 0 selects DefaultUnmarshalPorts.
+//
+// This is the serving tier's legacy hot path, so the scan is allocation-lean:
+// lines are tokenised in place over the scanner's buffer (no per-line string,
+// no fmt machinery), and the graph's port tables come from the header's
+// declared size in one flat allocation.
 func UnmarshalLimit(r io.Reader, maxPorts int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	// Track the byte offset of every line as the split function advances,
+	// so errors can point at the malformed token's position in the input.
+	consumed, lineStart := 0, 0
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		advance, token, err := bufio.ScanLines(data, atEOF)
+		if advance > 0 || token != nil {
+			lineStart = consumed
+			consumed += advance
+		}
+		return advance, token, err
+	})
 	line := 0
-	readLine := func() (string, bool) {
+	var cur []byte
+	readLine := func() bool {
 		for sc.Scan() {
 			line++
-			t := strings.TrimSpace(sc.Text())
-			if t == "" || strings.HasPrefix(t, "#") {
+			t := bytes.TrimSpace(sc.Bytes())
+			if len(t) == 0 || t[0] == '#' {
 				continue
 			}
-			return t, true
+			cur = t
+			return true
 		}
-		return "", false
+		return false
 	}
-	header, ok := readLine()
-	if !ok {
+	if !readLine() {
 		return nil, fmt.Errorf("graph: empty input")
 	}
-	if header != "topomap-graph v1" {
-		return nil, fmt.Errorf("graph: line %d: bad header %q", line, header)
+	if string(cur) != "topomap-graph v1" {
+		return nil, fmt.Errorf("graph: line %d (byte %d): bad header %q", line, lineStart, cur)
 	}
-	sizes, ok := readLine()
-	if !ok {
+	if !readLine() {
 		return nil, fmt.Errorf("graph: missing nodes line")
 	}
-	var n, delta int
-	if _, err := fmt.Sscanf(sizes, "nodes %d delta %d", &n, &delta); err != nil {
-		return nil, fmt.Errorf("graph: line %d: %v", line, err)
+	var tk tokenizer
+	tk.reset(cur, line, lineStart)
+	if err := tk.literal("nodes"); err != nil {
+		return nil, err
+	}
+	n, err := tk.int("node count")
+	if err != nil {
+		return nil, err
+	}
+	if err := tk.literal("delta"); err != nil {
+		return nil, err
+	}
+	delta, err := tk.int("degree bound")
+	if err != nil {
+		return nil, err
+	}
+	if err := tk.end(); err != nil {
+		return nil, err
 	}
 	if n < 0 || delta < 1 || delta > 255 {
-		return nil, fmt.Errorf("graph: line %d: invalid sizes n=%d delta=%d", line, n, delta)
+		return nil, fmt.Errorf("graph: line %d (byte %d): invalid sizes n=%d delta=%d", line, lineStart, n, delta)
 	}
 	if maxPorts <= 0 {
 		maxPorts = DefaultUnmarshalPorts
 	}
 	if n > maxPorts/delta {
-		return nil, fmt.Errorf("graph: line %d: declared size n=%d delta=%d exceeds the %d-port decode limit", line, n, delta, maxPorts)
+		return nil, fmt.Errorf("graph: line %d (byte %d): declared size n=%d delta=%d exceeds the %d-port decode limit",
+			line, lineStart, n, delta, maxPorts)
 	}
 	g := New(n, delta)
-	for {
-		t, ok := readLine()
-		if !ok {
-			break
+	for readLine() {
+		tk.reset(cur, line, lineStart)
+		if err := tk.literal("edge"); err != nil {
+			return nil, err
 		}
-		var from, op, to, ip int
-		if _, err := fmt.Sscanf(t, "edge %d %d %d %d", &from, &op, &to, &ip); err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		from, err := tk.int("source node")
+		if err != nil {
+			return nil, err
+		}
+		op, err := tk.int("out-port")
+		if err != nil {
+			return nil, err
+		}
+		to, err := tk.int("target node")
+		if err != nil {
+			return nil, err
+		}
+		ip, err := tk.int("in-port")
+		if err != nil {
+			return nil, err
+		}
+		if err := tk.end(); err != nil {
+			return nil, err
 		}
 		if err := g.Connect(from, op, to, ip); err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			return nil, fmt.Errorf("graph: line %d (byte %d): %v", line, lineStart, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -121,4 +202,94 @@ func UnmarshalLimit(r io.Reader, maxPorts int) (*Graph, error) {
 // UnmarshalString parses a graph from a string.
 func UnmarshalString(s string) (*Graph, error) {
 	return Unmarshal(strings.NewReader(s))
+}
+
+// tokenizer walks one line's whitespace-separated fields in place, with
+// enough position bookkeeping to blame the exact byte of a malformed token.
+type tokenizer struct {
+	b          []byte
+	pos        int
+	line, base int
+}
+
+func (t *tokenizer) reset(b []byte, line, base int) { t.b, t.pos, t.line, t.base = b, 0, line, base }
+
+// next returns the next field and its byte offset within the line; ok is
+// false at end of line.
+func (t *tokenizer) next() (tok []byte, off int, ok bool) {
+	for t.pos < len(t.b) && (t.b[t.pos] == ' ' || t.b[t.pos] == '\t') {
+		t.pos++
+	}
+	if t.pos >= len(t.b) {
+		return nil, t.pos, false
+	}
+	start := t.pos
+	for t.pos < len(t.b) && t.b[t.pos] != ' ' && t.b[t.pos] != '\t' {
+		t.pos++
+	}
+	return t.b[start:t.pos], start, true
+}
+
+// literal consumes a required keyword field.
+func (t *tokenizer) literal(want string) error {
+	tok, off, ok := t.next()
+	if !ok {
+		return fmt.Errorf("graph: line %d (byte %d): missing %q", t.line, t.base+t.pos, want)
+	}
+	if string(tok) != want {
+		return fmt.Errorf("graph: line %d (byte %d): expected %q, found %q", t.line, t.base+off, want, tok)
+	}
+	return nil
+}
+
+// int consumes a required decimal field.
+func (t *tokenizer) int(what string) (int, error) {
+	tok, off, ok := t.next()
+	if !ok {
+		return 0, fmt.Errorf("graph: line %d (byte %d): missing %s", t.line, t.base+t.pos, what)
+	}
+	v, err := parseInt(tok)
+	if err != nil {
+		return 0, fmt.Errorf("graph: line %d (byte %d): bad %s %q: %v", t.line, t.base+off, what, tok, err)
+	}
+	return v, nil
+}
+
+// end rejects trailing fields — a malformed edge line must not half-parse.
+func (t *tokenizer) end() error {
+	if tok, off, ok := t.next(); ok {
+		return fmt.Errorf("graph: line %d (byte %d): trailing token %q", t.line, t.base+off, tok)
+	}
+	return nil
+}
+
+// parseInt is a no-allocation strconv.Atoi over a byte slice, with the
+// overflow guard an untrusted surface needs.
+func parseInt(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty number")
+	}
+	neg := false
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, fmt.Errorf("bare sign")
+		}
+	}
+	const cutoff = int64(1) << 62
+	v := int64(0)
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("not a number")
+		}
+		if v >= cutoff/10 {
+			return 0, fmt.Errorf("number out of range")
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return int(v), nil
 }

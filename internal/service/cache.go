@@ -98,18 +98,58 @@ func optionsFingerprint(o core.Options) uint64 {
 	return h.Sum64()
 }
 
-// resultCost is the byte accounting of one cached RunResult, in the MemInfo
-// capacity-arithmetic discipline: the reconstruction graph's flat endpoint
-// table (2 sides × n×δ endpoints × 16 B) plus its per-node slice headers
-// (2 × 24 B) and a fixed allowance for the Graph/RunResult/Stats structs
-// and the LRU's own bookkeeping.
-func resultCost(r *core.RunResult) int64 {
+// Cached is one result-cache entry: the decoded run result plus both wire
+// encodings of the reconstructed topology, computed once when the entry is
+// populated. A cache hit serves the pre-encoded bytes as-is — no re-encode,
+// no re-verify — so the hit path's cost is the lookup itself. Every field is
+// immutable after construction and the entry is shared by all hits on its
+// key; callers must treat Text and Bin as read-only.
+type Cached struct {
+	// Res is the decoded run result (topology + protocol counters).
+	Res *core.RunResult
+	// Text is the topology in the plain-text codec (graph.Marshal); Bin is
+	// the same topology in the binary codec. Bin is nil only when the
+	// topology exceeds the binary codec's node bound (impossible for any
+	// graph that itself arrived through either codec's decode limit).
+	Text string
+	Bin  []byte
+	// Exact records whether the reconstruction is isomorphic to the input
+	// truth anchored at the run's root. The cache key is the anchored
+	// canonical digest plus the options fingerprint, so the verdict is
+	// identical for every request that can hit this entry — verification,
+	// an O(N) canonical-form walk, leaves the hit path entirely.
+	Exact bool
+	// Edges is the topology's wired-edge count.
+	Edges int
+}
+
+// newCached builds the entry for a successful flight: encode both wire forms
+// and verify the reconstruction once, against the flight's input graph.
+func newCached(g *graph.Graph, root int, res *core.RunResult) *Cached {
+	ent := &Cached{
+		Res:   res,
+		Text:  res.Topology.MarshalString(),
+		Exact: g.IsomorphicFrom(root, res.Topology, 0),
+		Edges: res.Topology.NumEdges(),
+	}
+	if bin, err := res.Topology.MarshalBinary(); err == nil {
+		ent.Bin = bin
+	}
+	return ent
+}
+
+// cost is the entry's byte accounting, in the MemInfo capacity-arithmetic
+// discipline: the reconstruction graph's flat endpoint table (2 sides × n×δ
+// endpoints × 16 B) plus its per-node slice headers (2 × 24 B), both
+// pre-encoded forms, and a fixed allowance for the Graph/RunResult/Stats
+// structs and the LRU's own bookkeeping.
+func (c *Cached) cost() int64 {
 	const entryOverhead = 512
-	if r == nil || r.Topology == nil {
+	if c == nil || c.Res == nil || c.Res.Topology == nil {
 		return entryOverhead
 	}
-	n, d := int64(r.Topology.N()), int64(r.Topology.Delta())
-	return 2*n*d*16 + 2*n*24 + entryOverhead
+	n, d := int64(c.Res.Topology.N()), int64(c.Res.Topology.Delta())
+	return 2*n*d*16 + 2*n*24 + int64(len(c.Text)) + int64(len(c.Bin)) + entryOverhead
 }
 
 // flight is one in-progress engine run that any number of identical
@@ -123,6 +163,7 @@ type flight struct {
 	mu      sync.Mutex
 	closed  bool
 	waiters []*Job
+	ent     *Cached
 	res     *core.RunResult
 	err     error
 }
@@ -143,12 +184,14 @@ func (fl *flight) attach(j *Job) bool {
 
 // completeAll records the outcome, closes the flight, and returns the
 // waiters to broadcast to. Called exactly once, by the internal job's
-// completion hook, after the key has been Forgotten.
-func (fl *flight) completeAll(res *core.RunResult, err error) []*Job {
+// completion hook, after the key has been Forgotten. ent is the cache entry
+// built from a successful run (nil on failure), so every waiter shares the
+// pre-encoded bytes.
+func (fl *flight) completeAll(ent *Cached, res *core.RunResult, err error) []*Job {
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	fl.closed = true
-	fl.res, fl.err = res, err
+	fl.ent, fl.res, fl.err = ent, res, err
 	ws := fl.waiters
 	fl.waiters = nil
 	return ws

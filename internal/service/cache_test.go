@@ -447,3 +447,120 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCachedEntryContents: the entry a flight populates carries both wire
+// encodings of the reconstruction and the one-time verification verdict,
+// and every path that can observe it — miss leader, hit, Lookup — shares
+// the same entry value.
+func TestCachedEntryContents(t *testing.T) {
+	p := cachedPool(1)
+	defer p.Close()
+	g := graph.Torus(4, 6)
+
+	if ent := p.Lookup(g, 0); ent != nil {
+		t.Fatal("Lookup hit on an empty cache")
+	}
+	miss, err := p.Submit(context.Background(), g, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := await(t, miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := miss.Cached()
+	if ent == nil {
+		t.Fatal("miss leader must carry the entry its run populated")
+	}
+	if ent.Res != res {
+		t.Fatal("entry result is not the run's result")
+	}
+	if !ent.Exact {
+		t.Fatal("fault-free torus reconstruction must verify exact")
+	}
+	if ent.Edges != res.Topology.NumEdges() {
+		t.Fatalf("entry edges %d, topology has %d", ent.Edges, res.Topology.NumEdges())
+	}
+	// Both pre-encoded forms decode back to the reconstruction.
+	fromText, err := graph.UnmarshalString(ent.Text)
+	if err != nil {
+		t.Fatalf("entry text does not parse: %v", err)
+	}
+	fromBin, err := graph.UnmarshalBinary(ent.Bin)
+	if err != nil {
+		t.Fatalf("entry binary does not parse: %v", err)
+	}
+	if !fromText.Equal(res.Topology) || !fromBin.Equal(res.Topology) {
+		t.Fatal("pre-encoded forms diverge from the topology")
+	}
+
+	hit, err := p.Submit(context.Background(), g, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := await(t, hit); err != nil {
+		t.Fatal(err)
+	}
+	if hit.Cached() != ent {
+		t.Fatal("hit must share the stored entry, not a copy")
+	}
+	if got := p.Lookup(g, 0); got != ent {
+		t.Fatal("Lookup must return the same shared entry")
+	}
+}
+
+// TestLookupFastPath pins the zero-copy fast path's contract: hits are
+// counted in the pool's statistics exactly like Submit-path hits, misses
+// and non-addressable requests return nil without touching counters, and a
+// warm hit performs no heap allocation at all.
+func TestLookupFastPath(t *testing.T) {
+	p := cachedPool(1)
+	defer p.Close()
+	g := graph.Torus(4, 6)
+	j, err := p.Submit(context.Background(), g, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := await(t, j); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Stats()
+
+	if ent := p.Lookup(g, 99999); ent != nil {
+		t.Fatal("non-addressable root must miss")
+	}
+	if ent := p.Lookup(graph.Ring(8), 0); ent != nil {
+		t.Fatal("unknown graph must miss")
+	}
+	if ent := p.Lookup(g, 0); ent == nil {
+		t.Fatal("warm entry must hit")
+	}
+	st := p.Stats()
+	if st.CacheHits != base.CacheHits+1 {
+		t.Fatalf("hits %d, want %d", st.CacheHits, base.CacheHits+1)
+	}
+	if st.TotalHit <= base.TotalHit {
+		t.Fatal("hit latency not accumulated")
+	}
+	if st.Served != base.Served || st.Submitted != base.Submitted {
+		t.Fatal("Lookup must not count runs or submissions")
+	}
+
+	if !raceEnabled {
+		allocs := testing.AllocsPerRun(100, func() {
+			if p.Lookup(g, 0) == nil {
+				t.Fatal("lost the entry mid-measurement")
+			}
+		})
+		if allocs > 0 {
+			t.Fatalf("fast-path hit allocates %.1f times, want 0", allocs)
+		}
+	}
+
+	// Lookup on a cache-less pool is a cheap constant nil.
+	bare := New(Options{Size: 1, Run: core.Options{Workers: 1}})
+	defer bare.Close()
+	if bare.Lookup(g, 0) != nil {
+		t.Fatal("cache-less pool must always miss")
+	}
+}

@@ -110,11 +110,12 @@ type Job struct {
 
 	status atomic.Int32
 	done   chan struct{}
-	// res/err/ran are written exactly once, before done is closed, and
-	// read only after it.
-	res *core.RunResult
-	err error
-	ran bool
+	// res/err/ran/cached are written exactly once, before done is closed,
+	// and read only after it.
+	res    *core.RunResult
+	err    error
+	ran    bool
+	cached *Cached
 }
 
 // newJob builds and registers a job handle for Submit.
@@ -236,6 +237,20 @@ func (j *Job) Outcome() (*core.RunResult, error) {
 	}
 }
 
+// Cached returns the result-cache entry that served this job — pre-encoded
+// wire bytes included — or nil: before the job is done, on error outcomes,
+// and on jobs whose run bypassed the cache (NoCache, cache off, or a
+// non-addressable root). Hit, shared, and miss jobs all carry the entry;
+// for a miss it is the entry this job's run just populated.
+func (j *Job) Cached() *Cached {
+	select {
+	case <-j.done:
+		return j.cached
+	default:
+		return nil
+	}
+}
+
 // finishFromQueued completes a still-queued job with err (no run executed).
 // It reports whether this call performed the transition.
 func (j *Job) finishFromQueued(err error) bool {
@@ -259,11 +274,13 @@ func (j *Job) finishFromQueued(err error) bool {
 // shared flight — the job was never queued, so it moves straight from
 // Queued to Done. The CAS loses (and the call is a no-op) if the job was
 // already canceled; ran is true because the outcome did come from an engine
-// run, just not one this job queued.
-func (j *Job) finishShared(res *core.RunResult, err error) {
+// run, just not one this job queued. ent carries the cache entry with the
+// pre-encoded wire bytes (nil on error outcomes).
+func (j *Job) finishShared(ent *Cached, res *core.RunResult, err error) {
 	if !j.status.CompareAndSwap(int32(StatusQueued), int32(StatusDone)) {
 		return
 	}
+	j.cached = ent
 	j.res, j.err, j.ran = res, err, true
 	close(j.done)
 	j.pool.release(j)

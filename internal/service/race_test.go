@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-count pins are skipped under it (instrumentation adds
+// bookkeeping allocations that are not the code's own).
+const raceEnabled = true

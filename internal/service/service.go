@@ -175,7 +175,7 @@ type Pool struct {
 	// flights is the singleflight registry collapsing concurrent identical
 	// misses; optFP is the pool's precomputed options fingerprint — run
 	// options are fixed for the pool's lifetime, so it never changes.
-	cache   *cache.Cache[*core.RunResult]
+	cache   *cache.Cache[*Cached]
 	flights cache.Group[flight]
 	optFP   uint64
 
@@ -216,7 +216,7 @@ func New(opts Options) *Pool {
 		baseMallocs: mallocs(),
 	}
 	if opts.CacheBytes > 0 {
-		p.cache = cache.New[*core.RunResult](opts.CacheBytes, opts.CacheShards)
+		p.cache = cache.New[*Cached](opts.CacheBytes, opts.CacheShards)
 		p.optFP = optionsFingerprint(opts.Run)
 	}
 	p.workers.Add(opts.Size)
@@ -281,13 +281,13 @@ func (p *Pool) Submit(ctx context.Context, g *graph.Graph, opts JobOptions) (*Jo
 // new flight whose single internal job runs the engine for every waiter.
 func (p *Pool) submitCached(ctx context.Context, g *graph.Graph, opts JobOptions, key cache.Key, root int) (*Job, error) {
 	start := time.Now()
-	if res, ok := p.cache.Get(key); ok {
+	if ent, ok := p.cache.Get(key); ok {
 		j := p.newJob(ctx, g, opts)
 		j.cacheState = CacheHit
 		p.stats.hits.add(1)
 		p.stats.submitted.add(1)
 		p.stats.hitNs.add(int64(time.Since(start)))
-		j.finishShared(res, nil)
+		j.finishShared(ent, ent.Res, nil)
 		return j, nil
 	}
 	fl, leader := p.flights.Join(key, func() *flight { return &flight{key: key} })
@@ -299,7 +299,7 @@ func (p *Pool) submitCached(ctx context.Context, g *graph.Graph, opts JobOptions
 		if !fl.attach(j) {
 			// The flight completed between Join and attach; its recorded
 			// outcome is immutable now, so serve it directly.
-			j.finishShared(fl.res, fl.err)
+			j.finishShared(fl.ent, fl.res, fl.err)
 		}
 		return j, nil
 	}
@@ -318,8 +318,8 @@ func (p *Pool) submitCached(ctx context.Context, g *graph.Graph, opts JobOptions
 		// caller like any rejected Submit.
 		p.flights.Forget(key)
 		p.release(ij)
-		for _, w := range fl.completeAll(nil, err) {
-			w.finishShared(nil, err)
+		for _, w := range fl.completeAll(nil, nil, err) {
+			w.finishShared(nil, nil, err)
 		}
 		return nil, err
 	}
@@ -341,19 +341,50 @@ func (p *Pool) newFlightJob(fl *flight, g *graph.Graph, root int) *Job {
 	})
 }
 
-// finishFlight is the internal job's completion hook: populate the cache
-// (successful runs only), retire the flight key so later submits start
-// fresh (or hit the entry just written), then broadcast to every waiter.
-// Runs on the goroutine that finished the internal job.
+// finishFlight is the internal job's completion hook: build the cache entry
+// (successful runs only — both wire encodings plus the one-time verification
+// against the flight's input graph), populate the cache, retire the flight
+// key so later submits start fresh (or hit the entry just written), then
+// broadcast to every waiter. Runs on the goroutine that finished the
+// internal job; the encode cost rides on the run it amortises, never on a
+// hit.
 func (p *Pool) finishFlight(fl *flight, ij *Job) {
 	res, err := ij.Outcome()
+	var ent *Cached
 	if err == nil && res != nil {
-		p.cache.Put(fl.key, res, resultCost(res))
+		ent = newCached(ij.g, ij.root, res)
+		p.cache.Put(fl.key, ent, ent.cost())
 	}
 	p.flights.Forget(fl.key)
-	for _, w := range fl.completeAll(res, err) {
-		w.finishShared(res, err)
+	for _, w := range fl.completeAll(ent, res, err) {
+		w.finishShared(ent, res, err)
 	}
+}
+
+// Lookup is the zero-copy serving fast path: content-address the request
+// (pooled canonical digest — no allocation) and return the cache entry with
+// its pre-encoded wire bytes, or nil on a miss. No job is created, nothing
+// is queued, and no context or channel machinery runs — a hit costs the
+// digest plus one sharded-LRU read, and is counted in the pool's hit
+// statistics exactly like a Submit-path hit. On nil the caller falls back to
+// Submit, which re-derives the key (the duplicated digest is cold-path cost,
+// dwarfed by the engine run it precedes).
+func (p *Pool) Lookup(g *graph.Graph, root int) *Cached {
+	if p.cache == nil || g == nil {
+		return nil
+	}
+	key, ok := p.cacheKey(g, root)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	ent, ok := p.cache.Get(key)
+	if !ok {
+		return nil
+	}
+	p.stats.hits.add(1)
+	p.stats.hitNs.add(int64(time.Since(start)))
+	return ent
 }
 
 // enqueue pushes a job into the queue under the pool's backpressure policy.

@@ -165,6 +165,50 @@ func (s *Service) Map(ctx context.Context, g *Graph) (*Result, error) {
 // Stats snapshots the service's counters.
 func (s *Service) Stats() ServiceStats { return s.pool.Stats() }
 
+// Lookup is the zero-copy serving fast path: content-address (g, root) and
+// return the cached result with its pre-encoded wire bytes, or nil on a
+// miss. No job is created and nothing is queued — a hit costs the pooled
+// canonical digest plus one sharded-cache read (no allocations), and is
+// counted in the service's cache-hit statistics. On nil the caller falls
+// back to Submit as usual. cmd/topomapd serves its cache hits through this
+// path.
+func (s *Service) Lookup(g *Graph, root int) *CachedResult {
+	ent := s.pool.Lookup(g, root)
+	if ent == nil {
+		return nil
+	}
+	return &CachedResult{ent: ent}
+}
+
+// CachedResult is a result served from the service's content-addressed
+// cache: the decoded result plus both wire encodings of the reconstructed
+// topology, pre-computed when the entry was populated. The underlying entry
+// is shared by every hit on its key — the byte slices and the result are
+// read-only.
+type CachedResult struct {
+	ent *service.Cached
+}
+
+// Result returns the decoded mapping result.
+func (c *CachedResult) Result() *Result { return newResult(c.ent.Res) }
+
+// Text returns the reconstructed topology in the plain-text codec, exactly
+// as Result().Topology.MarshalString() would — without re-encoding.
+func (c *CachedResult) Text() string { return c.ent.Text }
+
+// Binary returns the reconstructed topology in the binary codec (read-only,
+// shared across hits). It is nil only for topologies beyond the binary
+// codec's 2²⁴-node bound.
+func (c *CachedResult) Binary() []byte { return c.ent.Bin }
+
+// Exact reports whether the reconstruction was verified isomorphic to the
+// input truth when the entry was populated; content addressing makes the
+// verdict identical for every request that can hit the entry.
+func (c *CachedResult) Exact() bool { return c.ent.Exact }
+
+// Edges returns the topology's wired-edge count.
+func (c *CachedResult) Edges() int { return c.ent.Edges }
+
 // Drain shuts the service down gracefully: intake stops immediately, every
 // accepted job is served to completion, and the sessions are released. ctx
 // bounds the wait — on expiry the remaining jobs are canceled and Drain
@@ -213,3 +257,17 @@ func (j *Job) CacheState() CacheState { return j.inner.CacheState() }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.inner.Done() }
+
+// Cached returns the cache entry that served this job (pre-encoded wire
+// bytes included), or nil: before the job is done, on error outcomes, and
+// when the run bypassed the cache. Hit, shared, and miss jobs all carry the
+// entry — for a miss it is the entry the job's own run just populated — so
+// a server can stream the encoded topology without re-encoding it per
+// request.
+func (j *Job) Cached() *CachedResult {
+	ent := j.inner.Cached()
+	if ent == nil {
+		return nil
+	}
+	return &CachedResult{ent: ent}
+}
