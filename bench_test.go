@@ -50,6 +50,7 @@ func BenchmarkE17Hostile(b *testing.B)         { benchExperiment(b, "e17") }
 func BenchmarkE18Scale(b *testing.B)           { benchExperiment(b, "e18") }
 func BenchmarkE19CachedServe(b *testing.B)     { benchExperiment(b, "e19") }
 func BenchmarkE20WireCodec(b *testing.B)       { benchExperiment(b, "e20") }
+func BenchmarkE21DynamicRemap(b *testing.B)    { benchExperiment(b, "e21") }
 
 // Session-reuse benchmarks: the fresh/reused pair quantifies the session
 // refactor's allocation claim (run with -benchmem; the reused steady state

@@ -7,11 +7,18 @@
 //	topogen -family random -n 40 -delta 3 -m 90 -seed 11 -out g.txt
 //	topogen -family treeloop -n 31 -seed 2           # Lemma 5.1 instance
 //	topogen -family kautz -n 96 -format binary -out g.tmg
+//	topogen -family torus -n 64 -mutate 50 -out g.txt # + g.txt.deltas stream
 //	topogen -check -in g.txt                          # validate a file
 //
 // -format selects the output codec: text (the plain-text topomap-graph v1
 // format, default) or binary (the tmg1 frame, DESIGN.md §2.8). -check
 // accepts either — the codec is sniffed from the file's first bytes.
+//
+// -mutate k additionally emits a deterministic-per-seed stream of k
+// model-preserving deltas to <out>.deltas (DESIGN.md §2.9): one "patch"
+// line per delta in text mode, back-to-back tmd1 frames in binary mode.
+// Delta i applies to the graph produced by deltas 0..i-1, so the pair of
+// files replays a dynamic-network workload exactly.
 package main
 
 import (
@@ -43,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format = fs.String("format", "text", "output codec: text or binary")
 		in     = fs.String("in", "", "with -check: file to validate")
 		check  = fs.Bool("check", false, "validate a graph file and print its parameters")
+		mutate = fs.Int("mutate", 0, "emit k deterministic deltas alongside the graph (requires -out; written to <out>.deltas)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +99,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := g.Validate(); err != nil {
 		return fatal(fmt.Errorf("generated graph invalid: %w", err))
 	}
+	if *mutate < 0 {
+		fmt.Fprintf(stderr, "topogen: -mutate %d: want a non-negative count\n", *mutate)
+		return 2
+	}
+	if *mutate > 0 && *out == "" {
+		fmt.Fprintf(stderr, "topogen: -mutate requires -out (deltas go to <out>.deltas)\n")
+		return 2
+	}
+	if *mutate > 0 {
+		if err := writeDeltas(g, *mutate, *seed, *out+".deltas", *format, stderr); err != nil {
+			return fatal(err)
+		}
+	}
 
 	w := stdout
 	if *out != "" {
@@ -121,6 +142,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fatal(err)
 	}
 	return 0
+}
+
+// writeDeltas generates the deterministic delta stream for g and writes it
+// next to the graph file: one "patch" line per delta in text mode (each
+// preceded by a comment naming the pre-delta canonical digest), back-to-back
+// tmd1 frames in binary mode (each frame carries its own base digest). Delta
+// i applies to the graph produced by deltas 0..i-1; node ids are the base
+// graph's labels, so the stream replays exactly from the emitted pair of
+// files.
+func writeDeltas(g *graph.Graph, k int, seed int64, path, format string, stderr io.Writer) error {
+	deltas, err := graph.RandomDeltas(g, k, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	cur := g.Clone()
+	for i, d := range deltas {
+		digest := cur.CanonicalDigest(0)
+		if format == "binary" {
+			frame, err := graph.MarshalDeltaBinary(digest, d)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(frame); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(w, "# delta %d base=%x\n%s\n", i, digest, d.MarshalText())
+		}
+		if cur, err = d.Apply(cur); err != nil {
+			return fmt.Errorf("delta stream %d failed to apply: %v", i, err)
+		}
+	}
+	fmt.Fprintf(stderr, "topogen: wrote %d deltas to %s (final N=%d edges=%d)\n",
+		k, path, cur.N(), cur.NumEdges())
+	return w.Flush()
 }
 
 // readGraph decodes a graph in either codec, sniffing the binary magic from

@@ -107,6 +107,121 @@ func TestGenerateBinaryAndCheck(t *testing.T) {
 	}
 }
 
+// TestGenerateMutateText: -mutate writes a replayable text delta stream to
+// <out>.deltas; parsing it back and applying every delta in order must keep
+// the evolving graph valid and match the digests recorded in the comments.
+func TestGenerateMutateText(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "torus", "-n", "16", "-seed", "7", "-mutate", "6", "-out", path}, &out, &errOut); code != 0 {
+		t.Fatalf("generate exit %d, stderr: %s", code, errOut.String())
+	}
+	txt, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.UnmarshalString(string(txt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path + ".deltas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patched int
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := graph.UnmarshalDeltaString(line)
+		if err != nil {
+			t.Fatalf("delta %d: %v", patched, err)
+		}
+		if g, err = d.Apply(g); err != nil {
+			t.Fatalf("delta %d apply: %v", patched, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("after delta %d: %v", patched, err)
+		}
+		patched++
+	}
+	if patched != 6 {
+		t.Fatalf("parsed %d deltas, want 6", patched)
+	}
+
+	// Same seed must reproduce the byte-identical stream.
+	path2 := filepath.Join(t.TempDir(), "g.txt")
+	if code := run([]string{"-family", "torus", "-n", "16", "-seed", "7", "-mutate", "6", "-out", path2}, &out, &errOut); code != 0 {
+		t.Fatalf("regenerate exit %d", code)
+	}
+	data2, err := os.ReadFile(path2 + ".deltas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("delta stream is not deterministic per seed")
+	}
+}
+
+// TestGenerateMutateBinary: binary mode emits back-to-back tmd1 frames whose
+// base digests chain along the evolving graph.
+func TestGenerateMutateBinary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.tmg")
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "ring", "-n", "24", "-seed", "3", "-format", "binary", "-mutate", "4", "-out", path}, &out, &errOut); code != 0 {
+		t.Fatalf("generate exit %d, stderr: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.UnmarshalBinary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path + ".deltas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames int
+	for len(data) > 0 {
+		size, err := graph.DeltaFrameSize(data)
+		if err != nil || size > len(data) {
+			t.Fatalf("frame %d: size %d err %v", frames, size, err)
+		}
+		base, d, err := graph.UnmarshalDeltaBinary(data[:size])
+		if err != nil {
+			t.Fatalf("frame %d: %v", frames, err)
+		}
+		if got := g.CanonicalDigest(0); got != base {
+			t.Fatalf("frame %d base digest mismatch", frames)
+		}
+		if g, err = d.Apply(g); err != nil {
+			t.Fatalf("frame %d apply: %v", frames, err)
+		}
+		data = data[size:]
+		frames++
+	}
+	if frames != 4 {
+		t.Fatalf("decoded %d frames, want 4", frames)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("final graph invalid: %v", err)
+	}
+}
+
+// TestGenMutateRequiresOut: -mutate without -out is a usage error.
+func TestGenMutateRequiresOut(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "ring", "-n", "8", "-mutate", "3"}, &out, &errOut); code != 2 {
+		t.Fatalf("-mutate without -out should exit 2, got %d", code)
+	}
+	if code := run([]string{"-family", "ring", "-n", "8", "-mutate", "-1", "-out", "x"}, &out, &errOut); code != 2 {
+		t.Fatalf("negative -mutate should exit 2, got %d", code)
+	}
+}
+
 // TestGenBadFormat: an unknown -format is a usage error.
 func TestGenBadFormat(t *testing.T) {
 	var out, errOut strings.Builder

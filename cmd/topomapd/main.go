@@ -22,7 +22,21 @@
 //	               application/x-topomap negotiates a binary result frame
 //	               instead of JSON (sync path only; streaming plus binary
 //	               Accept answers 406). Every response carries
-//	               X-Topomap-Codec: <in>/<out>.
+//	               X-Topomap-Codec: <in>/<out>. With the cache on, sync
+//	               responses also carry X-Topomap-Digest and a "digest"
+//	               JSON field — the content address the result is cached
+//	               under, the base for a later PATCH.
+//	PATCH /map     Incremental remap of a cached reconstruction under a
+//	               delta (dynamic networks, DESIGN.md §2.9). The body is a
+//	               binary delta frame (tmd1 — carries its base digest) or
+//	               the one-line text form ("patch +3:2>17:2 -5:1>6:1") with
+//	               the base digest in ?base= or X-Topomap-Base. Query
+//	               parameters: maxdirty (incremental-vs-full threshold
+//	               fraction; 1 never falls back), graph=0. Responses carry
+//	               X-Topomap-Remap: incremental|full and X-Topomap-Digest
+//	               (the post-delta content address, the base for the next
+//	               PATCH). 412 = base not cached; re-POST the full graph.
+//	               Requires -cache-bytes > 0 (501 otherwise).
 //	GET|POST /map  ?family=ring&n=64&seed=1 — generator shorthand: build a
 //	               member of a built-in family instead of posting a body.
 //	               Families: ring, biring, line, torus, kautz, debruijn,
@@ -58,6 +72,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -265,12 +280,13 @@ type mapResult struct {
 	Transactions int    `json:"transactions"`
 	Exact        bool   `json:"exact"`
 	ElapsedMS    int64  `json:"elapsed_ms"`
+	Digest       string `json:"digest,omitempty"`
 	Graph        string `json:"graph,omitempty"`
 }
 
 func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost && r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	if r.Method != http.MethodPost && r.Method != http.MethodGet && r.Method != http.MethodPatch {
+		httpError(w, http.StatusMethodNotAllowed, "use GET, POST, or PATCH")
 		return
 	}
 	q := r.URL.Query()
@@ -280,6 +296,11 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	cw := &countingWriter{ResponseWriter: w}
 	w = cw
 	defer func() { s.codec.bytesOut.Add(uint64(cw.n)) }()
+
+	if r.Method == http.MethodPatch {
+		s.handlePatch(w, r)
+		return
+	}
 
 	g, inCodec, err := s.loadGraph(r)
 	if err != nil {
@@ -411,9 +432,9 @@ func (s *server) loadGraph(r *http.Request) (*topomap.Graph, string, error) {
 func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Graph, root int, jobOpts topomap.JobOptions, withGraph, outBinary bool) {
 	start := time.Now()
 	if !jobOpts.NoCache {
-		if ent := s.svc.Lookup(g, root); ent != nil {
+		if ent, dig, ok := s.svc.LookupDigest(g, root); ent != nil && ok {
 			w.Header().Set("X-Topomap-Cache", "hit")
-			s.writeResult(w, ent, root, start, withGraph, outBinary)
+			s.writeResult(w, ent, root, start, withGraph, outBinary, hex.EncodeToString(dig[:]))
 			return
 		}
 	}
@@ -423,6 +444,13 @@ func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Gr
 		return
 	}
 	setCacheHeader(w, j)
+	// With the cache on the job carries its content address — the base a
+	// client's next PATCH chains from.
+	var dighex string
+	if dig, ok := j.Digest(); ok {
+		dighex = hex.EncodeToString(dig[:])
+		w.Header().Set("X-Topomap-Digest", dighex)
+	}
 	res, err := j.Await(r.Context())
 	if err != nil {
 		runError(w, err)
@@ -431,7 +459,7 @@ func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Gr
 	if ent := j.Cached(); ent != nil {
 		// Miss and shared paths reuse the entry the flight just populated:
 		// the encode (and the O(N) verification) already happened, once.
-		s.writeResult(w, ent, root, start, withGraph, outBinary)
+		s.writeResult(w, ent, root, start, withGraph, outBinary, dighex)
 		return
 	}
 	// Cache off or bypassed: encode and verify per request, as always.
@@ -439,12 +467,19 @@ func (s *server) serveOnce(w http.ResponseWriter, r *http.Request, g *topomap.Gr
 		s.writeBinary(w, binaryResultOf(g, root, res, start), res.Topology, withGraph)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.result(g, root, res, start, withGraph))
+	out := s.result(g, root, res, start, withGraph)
+	out.Digest = dighex
+	writeJSON(w, http.StatusOK, out)
 }
 
 // writeResult serves a response from a cache entry: stored verification
-// verdict, stored wire bytes, no re-encode.
-func (s *server) writeResult(w http.ResponseWriter, ent *topomap.CachedResult, root int, start time.Time, withGraph, outBinary bool) {
+// verdict, stored wire bytes, no re-encode. digest is the entry's content
+// address in hex ("" when unknown), carried in the X-Topomap-Digest header
+// and — on the JSON path — the "digest" field.
+func (s *server) writeResult(w http.ResponseWriter, ent *topomap.CachedResult, root int, start time.Time, withGraph, outBinary bool, digest string) {
+	if digest != "" {
+		w.Header().Set("X-Topomap-Digest", digest)
+	}
 	res := ent.Result()
 	if outBinary {
 		br := binaryResult{
@@ -480,6 +515,7 @@ func (s *server) writeResult(w http.ResponseWriter, ent *topomap.CachedResult, r
 		Transactions: res.Transactions,
 		Exact:        ent.Exact(),
 		ElapsedMS:    time.Since(start).Milliseconds(),
+		Digest:       digest,
 	}
 	if withGraph {
 		out.Graph = ent.Text()

@@ -145,6 +145,7 @@ var registry = []struct {
 	{"e18", E18Scale},
 	{"e19", E19CachedServing},
 	{"e20", E20WireCodec},
+	{"e21", E21IncrementalRemap},
 }
 
 // IDs lists experiment identifiers in order.

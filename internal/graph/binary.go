@@ -271,5 +271,6 @@ func newDecodeTarget(n, delta int) (*Graph, []Endpoint) {
 		g.out[v] = flat[lo : lo+delta : lo+delta]
 		g.in[v] = flat[n*delta+lo : n*delta+lo+delta : n*delta+lo+delta]
 	}
+	g.flat = flat
 	return g, flat
 }

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary delta wire format (DESIGN.md §2.9). All integers are little-endian.
+//
+//	offset size  field
+//	0      4     magic "tmd1"
+//	4      1     version (1)
+//	5      1     flags, must be zero
+//	6      2     k — op count
+//	8      32    base digest — CanonicalDigest of the reconstruction the
+//	             delta applies to, anchored at its root; node ids below are
+//	             in that reconstruction's label space (node 0 = root)
+//	40     12·k  ops, 12 bytes each:
+//	             kind u8 · outPort u8 · inPort u8 · zero u8 · from u32 · to u32
+//
+// Like tmg1 the header fixes the frame length exactly, so the encoding is
+// self-delimiting. For DeltaRemoveNode `from` carries the node and the other
+// fields must be zero; for DeltaAddNode every field but kind must be zero.
+// Structural validation against a concrete graph (δ bound, free ports, edge
+// existence) happens at Apply time — the decoder enforces only what the
+// frame itself can: kinds, field ranges, zero padding, and the op bound.
+
+const (
+	deltaBinaryVersion = 1
+
+	// DeltaHeaderSize is the fixed byte length of a tmd1 frame header.
+	DeltaHeaderSize = 8 + DigestSize
+
+	// deltaOpSize is the byte length of one encoded op.
+	deltaOpSize = 12
+)
+
+// deltaMagic opens every binary delta frame.
+var deltaMagic = [4]byte{'t', 'm', 'd', '1'}
+
+// IsBinaryDelta reports whether data opens with the binary delta magic.
+func IsBinaryDelta(data []byte) bool {
+	return len(data) >= 4 && data[0] == 't' && data[1] == 'm' && data[2] == 'd' && data[3] == '1'
+}
+
+// DeltaBinarySize returns the exact encoded length of d in the tmd1 codec.
+func (d *Delta) DeltaBinarySize() int {
+	return DeltaHeaderSize + deltaOpSize*d.Len()
+}
+
+// AppendDeltaBinary appends the tmd1 encoding of d — bound to the base
+// reconstruction digest base — to dst and returns the extended slice.
+func AppendDeltaBinary(dst []byte, base Digest, d *Delta) ([]byte, error) {
+	if d.Len() > deltaWireMaxOps {
+		return dst, fmt.Errorf("graph: delta: %d ops exceed the %d-op wire bound", d.Len(), deltaWireMaxOps)
+	}
+	at := len(dst)
+	dst = append(dst, make([]byte, d.DeltaBinarySize())...)
+	hdr := dst[at:]
+	copy(hdr, deltaMagic[:])
+	hdr[4] = deltaBinaryVersion
+	hdr[5] = 0
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(d.Len()))
+	copy(hdr[8:], base[:])
+	w := DeltaHeaderSize
+	for i, op := range d.Ops {
+		rec := hdr[w : w+deltaOpSize]
+		w += deltaOpSize
+		rec[0] = byte(op.Kind)
+		switch op.Kind {
+		case DeltaInsert, DeltaDelete:
+			e := op.Edge
+			if e.From < 0 || e.From >= MaxBinaryNodes || e.To < 0 || e.To >= MaxBinaryNodes {
+				return dst[:at], fmt.Errorf("graph: delta op %d: node out of the %d-node codec bound", i, MaxBinaryNodes)
+			}
+			if e.OutPort < 1 || e.OutPort > 255 || e.InPort < 1 || e.InPort > 255 {
+				return dst[:at], fmt.Errorf("graph: delta op %d: port outside the codec's 1..255 range", i)
+			}
+			rec[1], rec[2], rec[3] = byte(e.OutPort), byte(e.InPort), 0
+			binary.LittleEndian.PutUint32(rec[4:], uint32(e.From))
+			binary.LittleEndian.PutUint32(rec[8:], uint32(e.To))
+		case DeltaAddNode:
+			// kind alone; the rest of the record stays zero.
+		case DeltaRemoveNode:
+			v := op.Edge.From
+			if v < 0 || v >= MaxBinaryNodes {
+				return dst[:at], fmt.Errorf("graph: delta op %d: node out of the %d-node codec bound", i, MaxBinaryNodes)
+			}
+			binary.LittleEndian.PutUint32(rec[4:], uint32(v))
+		default:
+			return dst[:at], fmt.Errorf("graph: delta op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// MarshalDeltaBinary encodes d bound to base in the tmd1 wire format.
+func MarshalDeltaBinary(base Digest, d *Delta) ([]byte, error) {
+	return AppendDeltaBinary(make([]byte, 0, d.DeltaBinarySize()), base, d)
+}
+
+// deltaWireMaxOps is the op bound a tmd1 frame can carry (u16 count field),
+// tighter than the text codec's MaxDeltaOps.
+const deltaWireMaxOps = 1<<16 - 1
+
+// DeltaFrameSize reads a tmd1 header prefix and returns the full byte length
+// of the frame it opens, so back-to-back frames in one stream can be split
+// without decoding them. data needs at least DeltaHeaderSize bytes.
+func DeltaFrameSize(data []byte) (int, error) {
+	if len(data) < DeltaHeaderSize {
+		return 0, fmt.Errorf("graph: delta: truncated header (%d bytes)", len(data))
+	}
+	if !IsBinaryDelta(data) {
+		return 0, fmt.Errorf("graph: delta: bad magic %q", data[:4])
+	}
+	if data[4] != deltaBinaryVersion {
+		return 0, fmt.Errorf("graph: delta: unsupported version %d", data[4])
+	}
+	k := int(binary.LittleEndian.Uint16(data[6:]))
+	return DeltaHeaderSize + deltaOpSize*k, nil
+}
+
+// UnmarshalDeltaBinary decodes one tmd1 frame, returning the base digest the
+// delta is bound to and the delta itself. Inputs are untrusted: malformed
+// headers, bad kinds, nonzero padding, out-of-range fields, and length
+// mismatches are rejected with errors, never panics (fuzzed by
+// FuzzUnmarshalDelta). The frame must be exact — trailing bytes error.
+func UnmarshalDeltaBinary(data []byte) (Digest, *Delta, error) {
+	var base Digest
+	if len(data) < DeltaHeaderSize {
+		return base, nil, fmt.Errorf("graph: delta: truncated header (%d bytes)", len(data))
+	}
+	if !IsBinaryDelta(data) {
+		return base, nil, fmt.Errorf("graph: delta: bad magic %q", data[:4])
+	}
+	if data[4] != deltaBinaryVersion {
+		return base, nil, fmt.Errorf("graph: delta: unsupported version %d", data[4])
+	}
+	if data[5] != 0 {
+		return base, nil, fmt.Errorf("graph: delta: nonzero flags byte %#x", data[5])
+	}
+	k := int(binary.LittleEndian.Uint16(data[6:]))
+	copy(base[:], data[8:])
+	if len(data) != DeltaHeaderSize+deltaOpSize*k {
+		return base, nil, fmt.Errorf("graph: delta: frame is %d bytes, header declares %d (k=%d)",
+			len(data), DeltaHeaderSize+deltaOpSize*k, k)
+	}
+	d := &Delta{Ops: make([]DeltaOp, k)}
+	for i := 0; i < k; i++ {
+		rec := data[DeltaHeaderSize+deltaOpSize*i:][:deltaOpSize]
+		from := binary.LittleEndian.Uint32(rec[4:])
+		to := binary.LittleEndian.Uint32(rec[8:])
+		kind := DeltaOpKind(rec[0])
+		switch kind {
+		case DeltaInsert, DeltaDelete:
+			if rec[1] == 0 || rec[2] == 0 {
+				return base, nil, fmt.Errorf("graph: delta op %d: zero port", i)
+			}
+			if rec[3] != 0 {
+				return base, nil, fmt.Errorf("graph: delta op %d: nonzero padding", i)
+			}
+			if from >= MaxBinaryNodes || to >= MaxBinaryNodes {
+				return base, nil, fmt.Errorf("graph: delta op %d: node out of the %d-node codec bound", i, MaxBinaryNodes)
+			}
+			d.Ops[i] = DeltaOp{Kind: kind, Edge: Edge{
+				From: int(from), OutPort: int(rec[1]),
+				To: int(to), InPort: int(rec[2]),
+			}}
+		case DeltaAddNode:
+			if rec[1] != 0 || rec[2] != 0 || rec[3] != 0 || from != 0 || to != 0 {
+				return base, nil, fmt.Errorf("graph: delta op %d: add-node record not zero-padded", i)
+			}
+			d.Ops[i] = DeltaOp{Kind: DeltaAddNode}
+		case DeltaRemoveNode:
+			if rec[1] != 0 || rec[2] != 0 || rec[3] != 0 || to != 0 {
+				return base, nil, fmt.Errorf("graph: delta op %d: remove-node record not zero-padded", i)
+			}
+			if from >= MaxBinaryNodes {
+				return base, nil, fmt.Errorf("graph: delta op %d: node out of the %d-node codec bound", i, MaxBinaryNodes)
+			}
+			d.Ops[i] = DeltaOp{Kind: DeltaRemoveNode, Edge: Edge{From: int(from)}}
+		default:
+			return base, nil, fmt.Errorf("graph: delta op %d: unknown kind %d", i, rec[0])
+		}
+	}
+	return base, d, nil
+}

@@ -7,9 +7,11 @@
 package graph
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"unsafe"
 )
 
 // NoPort marks an unwired port slot.
@@ -38,6 +40,11 @@ type Graph struct {
 	out [][]Endpoint
 	// in[v][p-1] is the endpoint wired to in-port p of v, or {-1,-1}.
 	in [][]Endpoint
+	// flat is the single backing allocation behind out and in (out rows
+	// first, then in rows) when the graph was built by New or the binary
+	// decoder. Equal compares flat tables with one packed memcmp instead of
+	// a per-port walk; nil (zero-value graphs) falls back to the walk.
+	flat []Endpoint
 	// valid memoises a successful Validate; any Connect clears it. Reused
 	// sessions re-validate their input graph every run, and the strong-
 	// connectivity pass would otherwise dominate a warm run's allocations.
@@ -71,6 +78,7 @@ func New(n, delta int) *Graph {
 		g.out[v] = flat[lo : lo+delta : lo+delta]
 		g.in[v] = flat[n*delta+lo : n*delta+lo+delta : n*delta+lo+delta]
 	}
+	g.flat = flat
 	return g
 }
 
@@ -114,6 +122,28 @@ func (g *Graph) MustConnect(from, outPort, to, inPort int) {
 	if err := g.Connect(from, outPort, to, inPort); err != nil {
 		panic(err)
 	}
+}
+
+// Disconnect unwires out-port outPort of node from, clearing both sides of
+// the wire, and returns the endpoint it was wired to. It returns an error if
+// the port is out of range or already unwired. The resulting graph may
+// transiently violate the model (a node left with no wired out-port, or a
+// broken strong component); Validate is the authority before a run.
+func (g *Graph) Disconnect(from, outPort int) (Endpoint, error) {
+	if from < 0 || from >= g.N() {
+		return Endpoint{}, fmt.Errorf("graph: node %d out of range", from)
+	}
+	if outPort < 1 || outPort > g.delta {
+		return Endpoint{}, fmt.Errorf("graph: out-port %d of node %d out of range 1..%d", outPort, from, g.delta)
+	}
+	e := g.out[from][outPort-1]
+	if e.Node == NoPort {
+		return Endpoint{}, fmt.Errorf("graph: out-port %d of node %d not wired", outPort, from)
+	}
+	g.out[from][outPort-1] = Endpoint{NoPort, NoPort}
+	g.in[e.Node][e.Port-1] = Endpoint{NoPort, NoPort}
+	g.valid.Store(false)
+	return e, nil
 }
 
 // ConnectNext wires the lowest free out-port of from to the lowest free
@@ -266,11 +296,40 @@ func (g *Graph) Relabel(perm []int) *Graph {
 	return c
 }
 
+// RelabelDense is Relabel for trusted int32 permutations: it writes the
+// relabeled port tables directly instead of re-validating every wire through
+// Connect, so the cost is one flat allocation plus 2·n·δ word writes. The
+// remap layer's suffix replay produces exactly such a permutation; per-edge
+// validation there would dominate the patch cost it exists to avoid.
+func (g *Graph) RelabelDense(perm []int32) *Graph {
+	if len(perm) != g.N() {
+		panic("graph: permutation length mismatch")
+	}
+	c := New(g.N(), g.delta)
+	for v := 0; v < g.N(); v++ {
+		nv := perm[v]
+		for p := 0; p < g.delta; p++ {
+			if e := g.out[v][p]; e.Node != NoPort {
+				c.out[nv][p] = Endpoint{int(perm[e.Node]), e.Port}
+			}
+			if e := g.in[v][p]; e.Node != NoPort {
+				c.in[nv][p] = Endpoint{int(perm[e.Node]), e.Port}
+			}
+		}
+	}
+	return c
+}
+
 // Equal reports whether g and h have identical node counts, degree bounds
-// and wiring (same nodes, same ports).
+// and wiring (same nodes, same ports). When both graphs carry their flat
+// backing table (anything built by New or the decoders) the comparison is a
+// single packed memcmp over the adjacency words rather than a per-port walk.
 func (g *Graph) Equal(h *Graph) bool {
 	if g.N() != h.N() || g.delta != h.delta {
 		return false
+	}
+	if g.flat != nil && h.flat != nil {
+		return endpointWordsEqual(g.flat, h.flat)
 	}
 	for v := 0; v < g.N(); v++ {
 		for p := 0; p < g.delta; p++ {
@@ -280,6 +339,22 @@ func (g *Graph) Equal(h *Graph) bool {
 		}
 	}
 	return true
+}
+
+// endpointWordsEqual compares two endpoint tables as raw bytes. Endpoint is
+// a pair of machine ints with no padding, so the byte view is exact, and
+// bytes.Equal vectorises where a struct-by-struct loop would not.
+func endpointWordsEqual(a, b []Endpoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	w := unsafe.Sizeof(Endpoint{})
+	ab := unsafe.Slice((*byte)(unsafe.Pointer(&a[0])), uintptr(len(a))*w)
+	bb := unsafe.Slice((*byte)(unsafe.Pointer(&b[0])), uintptr(len(b))*w)
+	return bytes.Equal(ab, bb)
 }
 
 // Validate checks that g is a legal network of the paper's model: every node

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomDeltas returns a deterministic-per-seed stream of k model-preserving
+// deltas for g: delta i applies to the graph produced by deltas 0..i-1, and
+// every prefix of the stream leaves the network valid (strongly connected,
+// degree-bounded, every node with a wired in- and out-port). The mix favours
+// chord inserts and redundant-edge deletes, with edge rewires and node
+// splices mixed in, so a stream exercises both the label-stable and the
+// replay paths of the remap layer. Node removals are deliberately absent:
+// they would make later deltas' node ids depend on compaction order, which
+// is hostile to replayable workload files. g is not mutated.
+func RandomDeltas(g *Graph, k int, seed int64) ([]*Delta, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("graph: negative delta count %d", k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := g.Clone()
+	out := make([]*Delta, 0, k)
+	for i := 0; i < k; i++ {
+		d := randomDelta(cur, rng)
+		next, err := d.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("graph: delta stream %d (%s): %v", i, d, err)
+		}
+		cur = next
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// randomDelta draws one valid delta for g. It always succeeds: the rewire
+// fallback (delete an edge and immediately re-insert it) is legal on any
+// valid graph.
+func randomDelta(g *Graph, rng *rand.Rand) *Delta {
+	n := g.N()
+	for attempt := 0; attempt < 64; attempt++ {
+		switch p := rng.Intn(10); {
+		case p < 4: // chord insert
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			op, ip := g.FreeOutPort(from), g.FreeInPort(to)
+			if op == 0 || ip == 0 {
+				continue
+			}
+			return new(Delta).Insert(from, op, to, ip)
+		case p < 7: // delete a redundant edge
+			e, ok := randomEdge(g, rng)
+			if !ok || g.OutDegree(e.From) < 2 || g.InDegree(e.To) < 2 {
+				continue
+			}
+			if !stillReachesWithout(g, e) {
+				continue
+			}
+			return new(Delta).Delete(e.From, e.OutPort, e.To, e.InPort)
+		case p < 9: // rewire: drop and re-add the same edge
+			if e, ok := randomEdge(g, rng); ok {
+				return new(Delta).
+					Delete(e.From, e.OutPort, e.To, e.InPort).
+					Insert(e.From, e.OutPort, e.To, e.InPort)
+			}
+		default: // splice a fresh node onto an edge
+			e, ok := randomEdge(g, rng)
+			if !ok {
+				continue
+			}
+			return new(Delta).AddNode().
+				Delete(e.From, e.OutPort, e.To, e.InPort).
+				Insert(e.From, e.OutPort, n, 1).
+				Insert(n, 1, e.To, e.InPort)
+		}
+	}
+	e, _ := randomEdge(g, rng)
+	return new(Delta).
+		Delete(e.From, e.OutPort, e.To, e.InPort).
+		Insert(e.From, e.OutPort, e.To, e.InPort)
+}
+
+// randomEdge draws a uniformly-ish random wired edge of g.
+func randomEdge(g *Graph, rng *rand.Rand) (Edge, bool) {
+	n := g.N()
+	for attempt := 0; attempt < 4*n; attempt++ {
+		v := rng.Intn(n)
+		p := 1 + rng.Intn(g.delta)
+		if e := g.out[v][p-1]; e.Node != NoPort {
+			return Edge{From: v, OutPort: p, To: e.Node, InPort: e.Port}, true
+		}
+	}
+	return Edge{}, false
+}
+
+// stillReachesWithout reports whether e.From still reaches e.To after e is
+// removed — the exact condition for the deletion to preserve strong
+// connectivity. The edge is unwired for the BFS and rewired before return.
+func stillReachesWithout(g *Graph, e Edge) bool {
+	if _, err := g.Disconnect(e.From, e.OutPort); err != nil {
+		return false
+	}
+	defer g.MustConnect(e.From, e.OutPort, e.To, e.InPort)
+	seen := make([]bool, g.N())
+	queue := []int{e.From}
+	seen[e.From] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 1; p <= g.delta; p++ {
+			if w := g.out[v][p-1]; w.Node != NoPort && !seen[w.Node] {
+				if w.Node == e.To {
+					return true
+				}
+				seen[w.Node] = true
+				queue = append(queue, w.Node)
+			}
+		}
+	}
+	return false
+}

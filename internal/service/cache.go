@@ -4,11 +4,17 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"topomap/internal/cache"
 	"topomap/internal/core"
 	"topomap/internal/graph"
+	"topomap/internal/remap"
 )
+
+// atomicRemapState names the Cached state memo's type, keeping the struct
+// declaration readable.
+type atomicRemapState = atomic.Pointer[remap.State]
 
 // CacheState classifies how a submitted job met the result cache.
 type CacheState int32
@@ -121,6 +127,28 @@ type Cached struct {
 	Exact bool
 	// Edges is the topology's wired-edge count.
 	Edges int
+
+	// st memoizes the entry's remap state (the DFS tree behind its labels),
+	// derived lazily by the first Remap against this entry and pre-filled
+	// for entries a patch produced. Racing derivations compute identical
+	// states (the derivation is deterministic), so a plain last-wins store
+	// is safe. The only mutable field; everything above stays immutable.
+	st atomicRemapState
+}
+
+// remapState returns the entry's memoized remap state, deriving it on first
+// use. Derivation fails only if Res.Topology is not in reconstruction form,
+// which no engine- or patch-produced entry is.
+func (c *Cached) remapState() (*remap.State, error) {
+	if st := c.st.Load(); st != nil {
+		return st, nil
+	}
+	st, err := remap.Derive(c.Res.Topology)
+	if err != nil {
+		return nil, err
+	}
+	c.st.Store(st)
+	return st, nil
 }
 
 // newCached builds the entry for a successful flight: encode both wire forms

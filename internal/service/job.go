@@ -108,6 +108,12 @@ type Job struct {
 	// never after), so a plain field read in CacheState is safe.
 	cacheState CacheState
 
+	// digest/hasDigest are the job's cache-key content address, written by
+	// submitCached before the handle is returned (and never after). Zero
+	// when the cache is off or bypassed.
+	digest    graph.Digest
+	hasDigest bool
+
 	status atomic.Int32
 	done   chan struct{}
 	// res/err/ran/cached are written exactly once, before done is closed,
@@ -168,6 +174,12 @@ func (j *Job) Status() JobStatus { return JobStatus(j.status.Load()) }
 // the run that will populate the cache), or CacheNone (cache disabled or
 // bypassed). Fixed at submit time.
 func (j *Job) CacheState() CacheState { return j.cacheState }
+
+// Digest returns the content address the job's (graph, root) is cached
+// under — the base a later Remap delta chains from — and whether one was
+// computed (false when the cache is off or the submit bypassed it). Fixed
+// at submit time; hit, shared, and miss jobs all carry it.
+func (j *Job) Digest() (graph.Digest, bool) { return j.digest, j.hasDigest }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }

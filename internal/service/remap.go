@@ -1,0 +1,209 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"topomap/internal/cache"
+	"topomap/internal/core"
+	"topomap/internal/graph"
+	"topomap/internal/remap"
+)
+
+// Errors returned by Remap.
+var (
+	// ErrNoCache reports a Remap on a pool without a result cache: the
+	// delta-patching tier is an extension of content addressing and has no
+	// meaning without it.
+	ErrNoCache = errors.New("service: remap requires the result cache")
+	// ErrUnknownBase reports a Remap whose base digest is not (or no longer)
+	// in the cache — evicted, never mapped, or mapped under different run
+	// options. The caller must fall back to submitting the full graph.
+	ErrUnknownBase = errors.New("service: base reconstruction not cached")
+)
+
+// RemapKind classifies how a Remap produced its result.
+type RemapKind int32
+
+const (
+	// RemapIncremental: the structural patch served the remap; no engine ran.
+	RemapIncremental RemapKind = iota
+	// RemapFull: the delta's dirty set exceeded the threshold and a full
+	// protocol run on the mutated graph served the remap instead.
+	RemapFull
+)
+
+// String renders the kind as the daemon's X-Topomap-Remap header value.
+func (k RemapKind) String() string {
+	if k == RemapFull {
+		return "full"
+	}
+	return "incremental"
+}
+
+// RemapOutcome is the result of a Pool.Remap: the post-delta cache entry
+// (pre-encoded wire bytes included, stored under the post-delta content
+// address) plus how it was produced.
+type RemapOutcome struct {
+	// Ent is the post-delta entry, already resident in the cache: a later
+	// Submit or Lookup of the mutated network hits it without any remap.
+	Ent *Cached
+	// Digest is the entry's content address — the canonical digest of the
+	// post-delta reconstruction anchored at its root.
+	Digest graph.Digest
+	// Kind reports the serving path; Dirty is the number of labels the patch
+	// replayed (the whole node count for RemapFull).
+	Kind  RemapKind
+	Dirty int
+	// Shared reports that this call collapsed onto an identical remap
+	// already in flight and shares its outcome.
+	Shared bool
+}
+
+// remapFlight is one in-progress remap that concurrent identical requests
+// (same base digest, same delta) share: the leader patches once, everyone
+// reads the recorded outcome.
+type remapFlight struct {
+	done chan struct{}
+	out  *RemapOutcome
+	err  error
+}
+
+// Remap patches a cached reconstruction under a delta: the request names its
+// base by content address (the canonical digest a prior Submit/Lookup
+// returned) and the delta's node ids live in that reconstruction's label
+// space (node 0 = root). On success the post-delta entry is resident in the
+// cache under its own content address and returned with its pre-encoded wire
+// bytes — the PATCH serving path of cmd/topomapd.
+//
+// A delta whose dirty set stays within opt.MaxDirtyFrac is patched
+// structurally without touching the engine; a dirtier one falls back to a
+// full protocol run on the mutated graph through the pool's ordinary submit
+// path (queueing, singleflight, and cache population included). Concurrent
+// Remaps with the same base and delta collapse onto one patch. The result is
+// bit-equal to a from-scratch map of the mutated network either way.
+func (p *Pool) Remap(ctx context.Context, base graph.Digest, d *graph.Delta, opt remap.Options) (*RemapOutcome, error) {
+	if p.cache == nil {
+		return nil, ErrNoCache
+	}
+	if d == nil {
+		return nil, errors.New("service: nil delta")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	baseKey := cache.Key{Digest: [cache.DigestSize]byte(base), Options: p.optFP}
+	ent, ok := p.cache.Get(baseKey)
+	if !ok {
+		p.stats.remapBaseMiss.add(1)
+		return nil, fmt.Errorf("%w: %x", ErrUnknownBase, base[:8])
+	}
+
+	fl, leader := p.remapFlights.Join(remapFlightKey(baseKey, d), func() *remapFlight {
+		return &remapFlight{done: make(chan struct{})}
+	})
+	if !leader {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		out := *fl.out
+		out.Shared = true
+		p.stats.remapShared.add(1)
+		return &out, nil
+	}
+	out, err := p.remapLead(ctx, ent, d, opt)
+	fl.out, fl.err = out, err
+	p.remapFlights.Forget(remapFlightKey(baseKey, d))
+	close(fl.done)
+	return out, err
+}
+
+// remapLead does the leader's work: derive (or reuse) the base entry's remap
+// state, patch structurally, and on ErrTooDirty fall back to a full engine
+// run of the mutated graph via the pool's own submit path.
+func (p *Pool) remapLead(ctx context.Context, ent *Cached, d *graph.Delta, opt remap.Options) (*RemapOutcome, error) {
+	st, err := ent.remapState()
+	if err != nil {
+		return nil, fmt.Errorf("service: remap state of cached entry: %w", err)
+	}
+	prev := ent.Res.Topology
+	res, patchErr := remap.Patch(prev, st, d, opt)
+	if patchErr == nil {
+		post := res.Graph.CanonicalDigest(0)
+		postKey := cache.Key{Digest: [cache.DigestSize]byte(post), Options: p.optFP}
+		ent2, ok := p.cache.Get(postKey)
+		if !ok {
+			// The patched reconstruction is bit-identical to what a full map
+			// of the mutated network returns (the remap layer's pinned
+			// equivalence), so the entry is a first-class cache citizen: a
+			// later POST of an isomorphic graph hits it. Exactness is
+			// inherited — the delta's truth is the base reconstruction
+			// itself, and the patch preserves the isomorphism class.
+			ent2 = &Cached{
+				Res:   &core.RunResult{Topology: res.Graph},
+				Text:  res.Graph.MarshalString(),
+				Exact: ent.Exact,
+				Edges: res.Graph.NumEdges(),
+			}
+			if bin, err := res.Graph.MarshalBinary(); err == nil {
+				ent2.Bin = bin
+			}
+			ent2.st.Store(res.State)
+			p.cache.Put(postKey, ent2, ent2.cost())
+		}
+		p.stats.remapInc.add(1)
+		return &RemapOutcome{Ent: ent2, Digest: post, Kind: RemapIncremental, Dirty: res.Dirty}, nil
+	}
+	if !errors.Is(patchErr, remap.ErrTooDirty) {
+		return nil, patchErr
+	}
+
+	// Fallback: full protocol run on the mutated graph, through Submit so it
+	// gets the ordinary treatment — queueing, engine singleflight, and cache
+	// population under the post-delta address on the way out.
+	mutated, err := d.ApplyClone(prev)
+	if err != nil {
+		return nil, err
+	}
+	root := 0
+	j, err := p.Submit(ctx, mutated, JobOptions{Root: &root})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := j.Await(ctx); err != nil {
+		return nil, err
+	}
+	ent2 := j.Cached()
+	if ent2 == nil {
+		return nil, errors.New("service: remap fallback produced no cache entry")
+	}
+	p.stats.remapFull.add(1)
+	return &RemapOutcome{
+		Ent:    ent2,
+		Digest: mutated.CanonicalDigest(root),
+		Kind:   RemapFull,
+		Dirty:  mutated.N(),
+	}, nil
+}
+
+// remapFlightKey addresses a remap flight: the base entry's cache key with
+// the options half replaced by a hash of (options, delta), so identical
+// concurrent deltas against the same base collapse and different deltas
+// don't.
+func remapFlightKey(baseKey cache.Key, d *graph.Delta) cache.Key {
+	h := fnv.New64a()
+	var opts [8]byte
+	for i := range opts {
+		opts[i] = byte(baseKey.Options >> (8 * i))
+	}
+	h.Write(opts[:])
+	h.Write([]byte(d.MarshalText()))
+	return cache.Key{Digest: baseKey.Digest, Options: h.Sum64()}
+}

@@ -136,6 +136,19 @@ type Stats struct {
 	// CacheHitRate is CacheHits over cache-eligible submits.
 	CacheHitRate float64
 
+	// Remap counters (the delta-patching tier; all zero when the cache is
+	// disabled). RemapIncremental counts remaps served by the structural
+	// patch — no engine run; RemapFull counts remaps whose dirty set forced
+	// the full-protocol fallback (those runs also appear in Served/
+	// CacheMisses, because the fallback rides the ordinary submit path);
+	// RemapShared counts remaps that collapsed onto an identical patch in
+	// flight; RemapBaseMisses counts remaps rejected because their base
+	// digest was not cached.
+	RemapIncremental uint64
+	RemapFull        uint64
+	RemapShared      uint64
+	RemapBaseMisses  uint64
+
 	// AvgQueueWait and AvgRun are means over served runs (the cold path);
 	// AvgHit is the mean submit-to-completion latency of cache hits (key
 	// derivation + lookup — no engine run). The Total* sums are the same
@@ -173,11 +186,13 @@ type Pool struct {
 
 	// cache is the content-addressed result store (nil when disabled);
 	// flights is the singleflight registry collapsing concurrent identical
-	// misses; optFP is the pool's precomputed options fingerprint — run
+	// misses; remapFlights does the same for concurrent identical deltas
+	// (Remap); optFP is the pool's precomputed options fingerprint — run
 	// options are fixed for the pool's lifetime, so it never changes.
-	cache   *cache.Cache[*Cached]
-	flights cache.Group[flight]
-	optFP   uint64
+	cache        *cache.Cache[*Cached]
+	flights      cache.Group[flight]
+	remapFlights cache.Group[remapFlight]
+	optFP        uint64
 
 	// lastMem is the memory report of the most recent finished run's
 	// session, refreshed by workers after every serve; memMu guards it.
@@ -188,6 +203,7 @@ type Pool struct {
 	stats       struct {
 		submitted, rejected, served, failed, canceled, panics, warm counter
 		hits, misses, shared                                        counter
+		remapInc, remapFull, remapShared, remapBaseMiss             counter
 		running, queueWaitNs, runNs, hitNs                          gauge
 	}
 }
@@ -283,6 +299,7 @@ func (p *Pool) submitCached(ctx context.Context, g *graph.Graph, opts JobOptions
 	start := time.Now()
 	if ent, ok := p.cache.Get(key); ok {
 		j := p.newJob(ctx, g, opts)
+		j.digest, j.hasDigest = graph.Digest(key.Digest), true
 		j.cacheState = CacheHit
 		p.stats.hits.add(1)
 		p.stats.submitted.add(1)
@@ -293,6 +310,7 @@ func (p *Pool) submitCached(ctx context.Context, g *graph.Graph, opts JobOptions
 	fl, leader := p.flights.Join(key, func() *flight { return &flight{key: key} })
 	if !leader {
 		j := p.newJob(ctx, g, opts)
+		j.digest, j.hasDigest = graph.Digest(key.Digest), true
 		j.cacheState = CacheShared
 		p.stats.shared.add(1)
 		p.stats.submitted.add(1)
@@ -309,6 +327,7 @@ func (p *Pool) submitCached(ctx context.Context, g *graph.Graph, opts JobOptions
 	// poison the run for the others. The requester becomes the flight's
 	// first waiter like everyone else.
 	j := p.newJob(ctx, g, opts)
+	j.digest, j.hasDigest = graph.Digest(key.Digest), true
 	j.cacheState = CacheMiss
 	fl.attach(j)
 	ij := p.newFlightJob(fl, g, root)
@@ -370,21 +389,34 @@ func (p *Pool) finishFlight(fl *flight, ij *Job) {
 // Submit, which re-derives the key (the duplicated digest is cold-path cost,
 // dwarfed by the engine run it precedes).
 func (p *Pool) Lookup(g *graph.Graph, root int) *Cached {
+	ent, _, _ := p.LookupDigest(g, root)
+	return ent
+}
+
+// LookupDigest is Lookup surfacing the content address it computes anyway:
+// the cache-key digest of (g, root), the base a later Remap delta chains
+// from. ok reports whether a key was derived at all (false when the cache
+// is off or g is nil) — on a miss ok is still true and ent is nil, so a
+// server can hand the digest to clients alongside the Submit it falls back
+// to. Identical cost to Lookup on the hit path: the digest is returned by
+// value, nothing extra is computed or allocated.
+func (p *Pool) LookupDigest(g *graph.Graph, root int) (ent *Cached, dig graph.Digest, ok bool) {
 	if p.cache == nil || g == nil {
-		return nil
+		return nil, graph.Digest{}, false
 	}
 	key, ok := p.cacheKey(g, root)
 	if !ok {
-		return nil
+		return nil, graph.Digest{}, false
 	}
+	dig = graph.Digest(key.Digest)
 	start := time.Now()
-	ent, ok := p.cache.Get(key)
-	if !ok {
-		return nil
+	ent, hit := p.cache.Get(key)
+	if !hit {
+		return nil, dig, true
 	}
 	p.stats.hits.add(1)
 	p.stats.hitNs.add(int64(time.Since(start)))
-	return ent
+	return ent, dig, true
 }
 
 // enqueue pushes a job into the queue under the pool's backpressure policy.
@@ -448,6 +480,10 @@ func (p *Pool) Stats() Stats {
 	s.CacheHits = p.stats.hits.get()
 	s.CacheMisses = p.stats.misses.get()
 	s.CacheShared = p.stats.shared.get()
+	s.RemapIncremental = p.stats.remapInc.get()
+	s.RemapFull = p.stats.remapFull.get()
+	s.RemapShared = p.stats.remapShared.get()
+	s.RemapBaseMisses = p.stats.remapBaseMiss.get()
 	if p.cache != nil {
 		cs := p.cache.Stats()
 		s.CacheEvictions = cs.Evictions

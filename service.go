@@ -180,6 +180,20 @@ func (s *Service) Lookup(g *Graph, root int) *CachedResult {
 	return &CachedResult{ent: ent}
 }
 
+// LookupDigest is Lookup surfacing the content address it computes anyway:
+// the digest (g, root) is cached under, which is the base a later
+// Service.Remap delta chains from. ok reports whether a digest was derived
+// at all (false when the cache is off) — on a miss ok is still true and the
+// result is nil, so a server can return the digest to clients alongside the
+// Submit it falls back to.
+func (s *Service) LookupDigest(g *Graph, root int) (res *CachedResult, dig Digest, ok bool) {
+	ent, dig, ok := s.pool.LookupDigest(g, root)
+	if ent == nil {
+		return nil, dig, ok
+	}
+	return &CachedResult{ent: ent}, dig, ok
+}
+
 // CachedResult is a result served from the service's content-addressed
 // cache: the decoded result plus both wire encodings of the reconstructed
 // topology, pre-computed when the entry was populated. The underlying entry
@@ -254,6 +268,12 @@ func (j *Job) Status() JobStatus { return j.inner.Status() }
 // CacheState reports how the submit met the result cache. Fixed at submit
 // time; a CacheHit job is already done when Submit returns.
 func (j *Job) CacheState() CacheState { return j.inner.CacheState() }
+
+// Digest returns the content address the job's (graph, root) is cached
+// under — the base a later Service.Remap delta chains from — and whether
+// one was computed (false when the cache is off or the submit bypassed
+// it). Fixed at submit time; hit, shared, and miss jobs all carry it.
+func (j *Job) Digest() (Digest, bool) { return j.inner.Digest() }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.inner.Done() }

@@ -83,6 +83,7 @@ import (
 	"topomap/internal/core"
 	"topomap/internal/graph"
 	"topomap/internal/gtd"
+	"topomap/internal/remap"
 	"topomap/internal/service"
 	"topomap/internal/sim"
 	"topomap/internal/wire"
@@ -351,6 +352,11 @@ func Verify(g *Graph, root int, mapped *Graph) bool {
 // when done to release the engine's worker pool.
 type Session struct {
 	inner *core.Session
+	// remapTopo/remapState memoize the remap state of the last
+	// reconstruction this session primed or patched, keeping chained
+	// Session.Remap calls on the O(k) fast path (see remap.go).
+	remapTopo  *graph.Graph
+	remapState *remap.State
 }
 
 // NewSession prepares a reusable mapping context with the given options
