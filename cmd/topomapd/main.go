@@ -279,9 +279,13 @@ type mapResult struct {
 	Messages     int64  `json:"messages"`
 	Transactions int    `json:"transactions"`
 	Exact        bool   `json:"exact"`
-	ElapsedMS    int64  `json:"elapsed_ms"`
-	Digest       string `json:"digest,omitempty"`
-	Graph        string `json:"graph,omitempty"`
+	// Remapped marks a result whose entry was produced by a PATCH-time
+	// structural patch, not an engine run: the topology is authoritative but
+	// ticks/messages/transactions are zero (no protocol ran).
+	Remapped  bool   `json:"remapped,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	Digest    string `json:"digest,omitempty"`
+	Graph     string `json:"graph,omitempty"`
 }
 
 func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
@@ -480,6 +484,12 @@ func (s *server) writeResult(w http.ResponseWriter, ent *topomap.CachedResult, r
 	if digest != "" {
 		w.Header().Set("X-Topomap-Digest", digest)
 	}
+	if ent.Remapped() {
+		// The entry came from a structural patch, so its protocol counters
+		// are zero; the header flags it on the binary path too, where the
+		// tmr1 frame has no field for it.
+		w.Header().Set("X-Topomap-Remapped", "1")
+	}
 	res := ent.Result()
 	if outBinary {
 		br := binaryResult{
@@ -514,6 +524,7 @@ func (s *server) writeResult(w http.ResponseWriter, ent *topomap.CachedResult, r
 		Messages:     res.Messages,
 		Transactions: res.Transactions,
 		Exact:        ent.Exact(),
+		Remapped:     ent.Remapped(),
 		ElapsedMS:    time.Since(start).Milliseconds(),
 		Digest:       digest,
 	}

@@ -106,6 +106,11 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Topomap-Digest", hex.EncodeToString(out.Digest[:]))
 
 	ent := out.Cached
+	if ent.Remapped() {
+		// Patch-produced entry: the counters below are zero because no
+		// protocol ran. Same flag a later POST hit on this entry carries.
+		w.Header().Set("X-Topomap-Remapped", "1")
+	}
 	res := ent.Result()
 	if outCodec == codecBinary {
 		br := binaryResult{
@@ -135,6 +140,7 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 			Messages:     res.Messages,
 			Transactions: res.Transactions,
 			Exact:        ent.Exact(),
+			Remapped:     ent.Remapped(),
 			ElapsedMS:    time.Since(start).Milliseconds(),
 			Digest:       hex.EncodeToString(out.Digest[:]),
 		},

@@ -83,6 +83,9 @@ func TestPatchEndToEnd(t *testing.T) {
 	if pr.Remap != "incremental" || pr.Dirty != 0 || pr.Ticks != 0 {
 		t.Fatalf("incremental patch result: %+v", pr)
 	}
+	if !pr.Remapped || presp.Header.Get("X-Topomap-Remapped") != "1" {
+		t.Fatalf("patch-produced result not flagged remapped: %+v", pr)
+	}
 	if presp.Header.Get("X-Topomap-Digest") != pr.Digest {
 		t.Fatal("digest header and body disagree")
 	}
@@ -97,6 +100,28 @@ func TestPatchEndToEnd(t *testing.T) {
 	}
 	if !patched.Equal(want.Topology) {
 		t.Fatal("patched reconstruction != full map of the mutated network")
+	}
+
+	// A later POST of the mutated network hits the patch-produced entry; its
+	// zero protocol counters are flagged so the hit is distinguishable from a
+	// real run.
+	hresp, err := http.Post(ts.URL+"/map", "text/plain", strings.NewReader(mutated.MarshalString()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hres mapResult
+	if err := json.NewDecoder(hresp.Body).Decode(&hres); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if got := hresp.Header.Get("X-Topomap-Cache"); got != "hit" {
+		t.Fatalf("POST after patch: X-Topomap-Cache %q, want hit", got)
+	}
+	if !hres.Remapped || hresp.Header.Get("X-Topomap-Remapped") != "1" {
+		t.Fatalf("hit on a patch-produced entry not flagged remapped: %+v", hres)
+	}
+	if hres.Ticks != 0 {
+		t.Fatalf("patch-produced entry grew counters: %+v", hres)
 	}
 
 	// Binary delta against the post-delta digest: chaining via the frame's
@@ -137,6 +162,9 @@ func TestPatchEndToEnd(t *testing.T) {
 	}
 	if pr3.Remap != "full" || pr3.Dirty != 32 || pr3.Ticks == 0 {
 		t.Fatalf("fallback patch result: %+v", pr3)
+	}
+	if pr3.Remapped || presp3.Header.Get("X-Topomap-Remapped") != "" {
+		t.Fatalf("fallback result came from a real run; must not be flagged remapped: %+v", pr3)
 	}
 
 	// Unknown base: 412, the client's cue to POST the full graph.

@@ -237,6 +237,15 @@ func classify(st *State, d *graph.Delta, n0 int) (tstar int32, risky, hasRemove 
 			}
 		case graph.DeltaAddNode:
 			n1++
+			// A node addition is never label-stable, even when every
+			// connecting insert originates at delta-introduced nodes (and so
+			// perturbs no existing label): a batch can wire its new nodes
+			// only among themselves, which passes Apply's per-node degree
+			// checks but leaves a disconnected island. Cutting at n0 keeps
+			// the whole old prefix pinned while routing the patch through
+			// replayFrom, whose full-reachability check rejects any addition
+			// the root cannot reach.
+			cut(int32(n0))
 		case graph.DeltaRemoveNode:
 			if op.Edge.From == 0 {
 				return 0, false, false, 0, fmt.Errorf("remap: delta op %d removes the root", i)

@@ -256,6 +256,33 @@ func TestRemapNodeSplice(t *testing.T) {
 	}
 }
 
+// TestRemapRejectsDisconnectedAddition: a batch whose new nodes are wired
+// only among themselves passes Apply's per-node degree checks but leaves a
+// disconnected island. classify must treat node additions as risky so the
+// replay's full-reachability check rejects the batch — the label-stable path
+// once returned the invalid reconstruction with a state sized for the old
+// node count.
+func TestRemapRejectsDisconnectedAddition(t *testing.T) {
+	r0 := mapEngine(t, graph.Ring(4), 0, topomap.Options{})
+	st, err := remap.Derive(r0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := new(graph.Delta).AddNode().AddNode().
+		Insert(4, 1, 5, 1).
+		Insert(5, 1, 4, 1)
+	if _, err := d.ApplyClone(r0); err != nil {
+		t.Fatalf("setup: the island delta must pass Apply's degree checks: %v", err)
+	}
+	res, err := remap.Patch(r0, st, d, remap.Options{MaxDirtyFrac: 1})
+	if err == nil {
+		t.Fatalf("disconnected addition accepted: %d-node graph from a 4-node base", res.Graph.N())
+	}
+	if !strings.Contains(err.Error(), "reaches only") {
+		t.Fatalf("want a reachability error, got %v", err)
+	}
+}
+
 func TestRemapStrongConnectivityGuard(t *testing.T) {
 	// Two 2-cycles bridged in both directions; dropping one bridge keeps
 	// every degree legal but severs the strong component.

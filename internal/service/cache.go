@@ -127,6 +127,12 @@ type Cached struct {
 	Exact bool
 	// Edges is the topology's wired-edge count.
 	Edges int
+	// Remapped records that this entry was produced by a structural patch
+	// (Pool.Remap) rather than an engine run: its topology is bit-equal to a
+	// full map's, but Res carries no protocol counters — Ticks, Messages,
+	// and Transactions are zero. Surfaced to clients so a cache hit on a
+	// patch-produced entry is distinguishable from a real run.
+	Remapped bool
 
 	// st memoizes the entry's remap state (the DFS tree behind its labels),
 	// derived lazily by the first Remap against this entry and pre-filled

@@ -64,11 +64,15 @@ type RemapOutcome struct {
 
 // remapFlight is one in-progress remap that concurrent identical requests
 // (same base digest, same delta) share: the leader patches once, everyone
-// reads the recorded outcome.
+// reads the recorded outcome. delta is the leader's marshaled delta text,
+// checked on every join — the flight key's 64-bit hash is not
+// collision-proof, and a follower must never inherit a different delta's
+// result.
 type remapFlight struct {
-	done chan struct{}
-	out  *RemapOutcome
-	err  error
+	delta string
+	done  chan struct{}
+	out   *RemapOutcome
+	err   error
 }
 
 // Remap patches a cached reconstruction under a delta: the request names its
@@ -101,10 +105,18 @@ func (p *Pool) Remap(ctx context.Context, base graph.Digest, d *graph.Delta, opt
 		return nil, fmt.Errorf("%w: %x", ErrUnknownBase, base[:8])
 	}
 
-	fl, leader := p.remapFlights.Join(remapFlightKey(baseKey, d), func() *remapFlight {
-		return &remapFlight{done: make(chan struct{})}
+	dtext := d.MarshalText()
+	flightKey := remapFlightKey(baseKey, dtext)
+	fl, leader := p.remapFlights.Join(flightKey, func() *remapFlight {
+		return &remapFlight{delta: dtext, done: make(chan struct{})}
 	})
 	if !leader {
+		if fl.delta != dtext {
+			// 64-bit flight-key collision between two different deltas:
+			// sharing would hand this caller the other delta's result. Patch
+			// unshared instead — correctness over collapse.
+			return p.remapLead(ctx, ent, d, opt)
+		}
 		select {
 		case <-fl.done:
 		case <-ctx.Done():
@@ -120,7 +132,7 @@ func (p *Pool) Remap(ctx context.Context, base graph.Digest, d *graph.Delta, opt
 	}
 	out, err := p.remapLead(ctx, ent, d, opt)
 	fl.out, fl.err = out, err
-	p.remapFlights.Forget(remapFlightKey(baseKey, d))
+	p.remapFlights.Forget(flightKey)
 	close(fl.done)
 	return out, err
 }
@@ -147,10 +159,11 @@ func (p *Pool) remapLead(ctx context.Context, ent *Cached, d *graph.Delta, opt r
 			// inherited — the delta's truth is the base reconstruction
 			// itself, and the patch preserves the isomorphism class.
 			ent2 = &Cached{
-				Res:   &core.RunResult{Topology: res.Graph},
-				Text:  res.Graph.MarshalString(),
-				Exact: ent.Exact,
-				Edges: res.Graph.NumEdges(),
+				Res:      &core.RunResult{Topology: res.Graph},
+				Text:     res.Graph.MarshalString(),
+				Exact:    ent.Exact,
+				Edges:    res.Graph.NumEdges(),
+				Remapped: true,
 			}
 			if bin, err := res.Graph.MarshalBinary(); err == nil {
 				ent2.Bin = bin
@@ -194,16 +207,17 @@ func (p *Pool) remapLead(ctx context.Context, ent *Cached, d *graph.Delta, opt r
 }
 
 // remapFlightKey addresses a remap flight: the base entry's cache key with
-// the options half replaced by a hash of (options, delta), so identical
-// concurrent deltas against the same base collapse and different deltas
-// don't.
-func remapFlightKey(baseKey cache.Key, d *graph.Delta) cache.Key {
+// the options half replaced by a hash of (options, delta text), so identical
+// concurrent deltas against the same base collapse. The 64-bit hash only
+// routes — Remap confirms the delta text on every join and patches unshared
+// on a mismatch, so a collision can never serve the wrong delta's result.
+func remapFlightKey(baseKey cache.Key, deltaText string) cache.Key {
 	h := fnv.New64a()
 	var opts [8]byte
 	for i := range opts {
 		opts[i] = byte(baseKey.Options >> (8 * i))
 	}
 	h.Write(opts[:])
-	h.Write([]byte(d.MarshalText()))
+	h.Write([]byte(deltaText))
 	return cache.Key{Digest: baseKey.Digest, Options: h.Sum64()}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"topomap/internal/cache"
 	"topomap/internal/core"
 	"topomap/internal/graph"
 	"topomap/internal/remap"
@@ -39,6 +40,14 @@ func TestPoolRemapIncremental(t *testing.T) {
 	}
 	if out.Kind != RemapIncremental {
 		t.Fatalf("kind %v, want incremental", out.Kind)
+	}
+	// Patch-produced entries carry no protocol counters; the Remapped flag
+	// is what tells a later cache hit apart from a real run.
+	if !out.Ent.Remapped {
+		t.Fatal("patch-produced entry not marked Remapped")
+	}
+	if j.Cached().Remapped {
+		t.Fatal("engine-produced entry marked Remapped")
 	}
 
 	// Reference: an uncached engine run of the mutated network.
@@ -117,6 +126,9 @@ func TestPoolRemapFallback(t *testing.T) {
 	if out.Kind != RemapFull {
 		t.Fatalf("kind %v, want full", out.Kind)
 	}
+	if out.Ent.Remapped {
+		t.Fatal("fallback entry came from a real run; must not be marked Remapped")
+	}
 	if out.Dirty != prevTopo.N() {
 		t.Fatalf("fallback dirty %d, want %d", out.Dirty, prevTopo.N())
 	}
@@ -194,6 +206,72 @@ func TestPoolRemapErrors(t *testing.T) {
 	}
 	if _, err := p.Remap(context.Background(), g.CanonicalDigest(0), nil, remap.Options{}); err == nil {
 		t.Fatal("nil delta accepted")
+	}
+
+	// A batch wiring its new nodes only among themselves adds a disconnected
+	// island: legal per-node degrees, broken model. The structural patch must
+	// reject it — and never cache an entry for the mutated digest.
+	island := new(graph.Delta).AddNode().AddNode().
+		Insert(16, 1, 17, 1).
+		Insert(17, 1, 16, 1)
+	if _, err := p.Remap(context.Background(), g.CanonicalDigest(0), island, remap.Options{MaxDirtyFrac: 1}); err == nil {
+		t.Fatal("disconnected island delta accepted")
+	}
+	mutated, err := island.ApplyClone(j.Cached().Res.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent := p.Lookup(mutated, 0); ent != nil {
+		t.Fatal("rejected island delta left a cache entry behind")
+	}
+}
+
+// TestPoolRemapFlightCollision: the 64-bit flight key only routes — a
+// foreign flight squatting on this delta's key must not share its outcome.
+// The join verifies the delta text and patches unshared on a mismatch.
+func TestPoolRemapFlightCollision(t *testing.T) {
+	p := cachedPool(1)
+	defer p.Close()
+	ctx := context.Background()
+
+	g := graph.Ring(24)
+	j, err := p.Submit(ctx, g, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := await(t, j); err != nil {
+		t.Fatal(err)
+	}
+	base := g.CanonicalDigest(0)
+	d := new(graph.Delta).Insert(15, 2, 3, 2)
+
+	// Squat a completed flight under d's exact key, carrying a different
+	// delta's text and a poisoned outcome that sharing would expose.
+	baseKey := cache.Key{Digest: [cache.DigestSize]byte(base), Options: p.optFP}
+	k := remapFlightKey(baseKey, d.MarshalText())
+	fl, leader := p.remapFlights.Join(k, func() *remapFlight {
+		return &remapFlight{delta: "patch +9:9>9:9", done: make(chan struct{})}
+	})
+	if !leader {
+		t.Fatal("setup: flight key already occupied")
+	}
+	fl.out = &RemapOutcome{}
+	close(fl.done)
+	defer p.remapFlights.Forget(k)
+
+	out, err := p.Remap(ctx, base, d, remap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shared {
+		t.Fatal("collided flight was shared")
+	}
+	mutated, err := d.ApplyClone(j.Cached().Res.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Digest != mutated.CanonicalDigest(0) {
+		t.Fatal("collision victim received the wrong result")
 	}
 }
 

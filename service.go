@@ -223,6 +223,12 @@ func (c *CachedResult) Exact() bool { return c.ent.Exact }
 // Edges returns the topology's wired-edge count.
 func (c *CachedResult) Edges() int { return c.ent.Edges }
 
+// Remapped reports that the entry was produced by a structural patch
+// (Service.Remap) rather than an engine run: its topology is bit-equal to a
+// full map's, but the Result carries zero protocol counters (Ticks,
+// Messages, Transactions).
+func (c *CachedResult) Remapped() bool { return c.ent.Remapped }
+
 // Drain shuts the service down gracefully: intake stops immediately, every
 // accepted job is served to completion, and the sessions are released. ctx
 // bounds the wait — on expiry the remaining jobs are canceled and Drain
